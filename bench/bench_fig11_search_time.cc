@@ -1,0 +1,63 @@
+// Reproduces Figure 11 (Appendix A.3.3): AutomaticPartition search time by
+// model and number of searched axes. The paper's observation: search time
+// grows with the number of axes (decision space), and stays in an amortized
+// acceptable range relative to training times.
+#include "bench/bench_util.h"
+
+#include "src/autopart/mcts.h"
+
+namespace partir {
+namespace {
+
+using bench::Fmt;
+using bench::PrintHeader;
+using bench::PrintRow;
+
+void RunSearch(const std::string& model, Func* step,
+               std::vector<std::string> axes, int simulations) {
+  Mesh mesh({{"batch", 8}, {"model", 4}});
+  PartitionContext ctx(step, mesh);
+  AutoOptions options;
+  options.simulations = simulations;
+  options.max_actions = 4;
+  AutoResult result = AutomaticallyPartition(ctx, axes, options);
+  PrintRow({model, StrCat(axes.size()), StrCat(simulations),
+            StrCat(result.evaluations),
+            Fmt(result.search_seconds, "%.2f s"),
+            Fmt(result.est_step_seconds * 1e3, "%.3f ms")});
+}
+
+}  // namespace
+}  // namespace partir
+
+int main() {
+  using namespace partir;
+  using namespace partir::bench;
+  PrintHeader("Figure 11: AutomaticPartition search time");
+  PrintRow({"model", "#axes", "sims", "evals", "search", "found ms/step"});
+  const int kSims = 48;
+  {
+    GnsConfig config = GnsConfig::Bench();
+    Module m1, m2;
+    RunSearch("GNS", BuildGnsTrainingStep(m1, config), {"batch"}, kSims);
+    RunSearch("GNS", BuildGnsTrainingStep(m2, config), {"batch", "model"},
+              kSims);
+  }
+  {
+    UNetConfig config = UNetConfig::Bench();
+    Module m1, m2;
+    RunSearch("UNet", BuildUNetTrainingStep(m1, config), {"batch"}, kSims);
+    RunSearch("UNet", BuildUNetTrainingStep(m2, config), {"batch", "model"},
+              kSims);
+  }
+  {
+    TransformerConfig config = TransformerConfig::T32Scaled();
+    config.num_layers = 4;
+    Module m1, m2;
+    RunSearch("T32/4L", BuildTransformerTrainingStep(m1, config), {"batch"},
+              kSims);
+    RunSearch("T32/4L", BuildTransformerTrainingStep(m2, config),
+              {"batch", "model"}, kSims);
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Reproduces Figure 6: one-step time of manual vs partially/fully automatic
+// schedules on an 8x4 mesh (estimated by the simulator; grey bars in the
+// paper are manual tactics, colored bars include AutomaticPartition).
+#include "bench/bench_util.h"
+
+#include "src/sim/cost_model.h"
+
+namespace partir {
+namespace {
+
+using bench::Fmt;
+using bench::PrintHeader;
+using bench::PrintRow;
+using bench::Run;
+
+AutomaticPartition Auto(const std::string& name,
+                        std::vector<std::string> axes, int simulations) {
+  AutomaticPartition tactic;
+  tactic.name = name;
+  tactic.axes = std::move(axes);
+  tactic.options.simulations = simulations;
+  tactic.options.max_actions = 4;
+  return tactic;
+}
+
+void Report(const std::string& model, const std::string& schedule,
+            const PartitionResult& result) {
+  PrintRow({model, schedule, Fmt(result.estimate.step_seconds * 1e3, "%.3f"),
+            Fmt(result.estimate.peak_memory_bytes / 1e9, "%.3f"),
+            result.collectives.ToString()});
+}
+
+}  // namespace
+}  // namespace partir
+
+int main() {
+  using namespace partir;
+  using namespace partir::bench;
+  using namespace partir::schedules;
+  PrintHeader("Figure 6: step-time estimate (ms) on {batch:8, model:4}");
+  PrintRow({"model", "schedule", "ms/step", "peak GB", "collectives"});
+  Mesh mesh({{"batch", 8}, {"model", 4}});
+  const int kSims = 48;
+
+  {  // T32 (scaled): manual, BP+AutoMP+Z3, AllAuto.
+    TransformerConfig config = TransformerConfig::T32Scaled();
+    config.num_layers = 8;  // keep the search affordable
+    Module module;
+    Func* step = BuildTransformerTrainingStep(module, config);
+    Report("T32/8L", "BP+MP+Z3 (manual)",
+           Run(step, mesh,
+               {TransformerBP(), TransformerMP(), TransformerZ3()}));
+    Report("T32/8L", "BP+AutoMP+Z3",
+           Run(step, mesh,
+               {TransformerBP(), Auto("AutoMP", {"model"}, kSims),
+                TransformerZ3()}));
+    Report("T32/8L", "AllAuto",
+           Run(step, mesh, {Auto("AllAuto", {"batch", "model"}, kSims)}));
+  }
+  {  // UNet: BP, BP+AutoMP, AllAuto.
+    UNetConfig config = UNetConfig::Bench();
+    Module module;
+    Func* step = BuildUNetTrainingStep(module, config);
+    Report("UNet", "BP (manual)", Run(step, mesh, {UNetBP()}));
+    Report("UNet", "BP+AutoMP",
+           Run(step, mesh, {UNetBP(), Auto("AutoMP", {"model"}, kSims)}));
+    Report("UNet", "AllAuto",
+           Run(step, mesh, {Auto("AllAuto", {"batch", "model"}, kSims)}));
+  }
+  {  // GNS: ES, ES+AutoMP, ES+AutoBP, AllAuto.
+    GnsConfig config = GnsConfig::Bench();
+    Module module;
+    Func* step = BuildGnsTrainingStep(module, config);
+    Report("GNS", "ES (manual)", Run(step, mesh, {GnsES()}));
+    Report("GNS", "ES+AutoMP",
+           Run(step, mesh, {GnsES(), Auto("AutoMP", {"model"}, kSims)}));
+    Report("GNS", "AllAuto",
+           Run(step, mesh, {Auto("AllAuto", {"batch", "model"}, kSims)}));
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Reproduces Figure 8: PartIR partitioning time as a fraction of overall
+// compilation time. "Overall compilation" here is the full local pipeline:
+// PartIR tactics + propagation + SPMD lowering + collective optimization
+// (the PartIR part), followed by the backend stand-in (device-local
+// verification, canonicalization and cost modeling, standing in for XLA).
+#include <chrono>
+
+#include "bench/bench_util.h"
+
+#include "src/ir/passes.h"
+#include "src/ir/verifier.h"
+#include "src/sim/cost_model.h"
+
+namespace partir {
+namespace {
+
+using bench::Fmt;
+using bench::PrintHeader;
+using bench::PrintRow;
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// A stand-in for backend (XLA) compilation work on the device-local module:
+// verification, repeated canonicalization sweeps and cost analysis.
+double BackendStandIn(SpmdModule& spmd) {
+  auto start = Clock::now();
+  VerifyOrDie(*spmd.module);
+  for (int sweep = 0; sweep < 12; ++sweep) {
+    OptimizeSpmd(spmd);
+    EliminateDeadCode(*spmd.main());
+  }
+  EstimateSpmd(spmd, Tpu_v3());
+  MeasureOnHardwareModel(spmd, Tpu_v3());
+  return Seconds(start);
+}
+
+void RunCase(const std::string& label, Func* step,
+             const std::vector<Tactic>& schedule) {
+  Mesh mesh({{"batch", 8}, {"model", 2}});
+  auto start = Clock::now();
+  PartitionContext ctx(step, mesh);
+  PartitionOptions options;
+  options.per_tactic_reports = false;
+  PartitionResult result = PartirJit(ctx, schedule, options);
+  double partition_seconds = Seconds(start);
+  double backend_seconds = BackendStandIn(result.spmd);
+  double total = partition_seconds + backend_seconds;
+  PrintRow({label, StrCat(CountOps(*result.spmd.main())),
+            Fmt(partition_seconds * 1e3, "%.1f"),
+            Fmt(total * 1e3, "%.1f"),
+            Fmt(100.0 * partition_seconds / total, "%.1f%%")});
+}
+
+}  // namespace
+}  // namespace partir
+
+int main() {
+  using namespace partir;
+  using namespace partir::bench;
+  using namespace partir::schedules;
+  PrintHeader("Figure 8: partition time vs overall compilation time");
+  PrintRow({"model", "ops", "partir ms", "total ms", "partir %"});
+  {
+    TransformerConfig config = TransformerConfig::T32Scaled();
+    Module module;
+    Func* step = BuildTransformerTrainingStep(module, config);
+    RunCase("T32", step,
+            {TransformerBP(), TransformerMP(), TransformerZ3(),
+             TransformerEMB()});
+  }
+  {
+    UNetConfig config = UNetConfig::Bench();
+    Module module;
+    Func* step = BuildUNetTrainingStep(module, config);
+    RunCase("UNet", step, {UNetBP(), UNetMP(), UNetZ3()});
+  }
+  {
+    GnsConfig config = GnsConfig::Bench();
+    Module module;
+    Func* step = BuildGnsTrainingStep(module, config);
+    RunCase("GNS", step, {GnsES()});
+  }
+  {
+    TransformerConfig config = TransformerConfig::T32Scaled();
+    config.seq = 16;
+    Module module;
+    Func* infer = BuildTransformerInference(module, config, 8);
+    ManualPartition bp{"BP", {{"tokens", 0}, {"decode_tokens", 0}}, "batch"};
+    RunCase("IT32", infer, {bp, TransformerMP()});
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Micro-benchmarks (google-benchmark) for the compiler passes themselves:
+// propagation, SPMD lowering and collective optimization throughput on
+// generated matmul chains of increasing length.
+#include <benchmark/benchmark.h>
+
+#include "src/core/context.h"
+#include "src/ir/builder.h"
+#include "src/spmd/lowering.h"
+#include "src/spmd/optimize.h"
+
+namespace partir {
+namespace {
+
+// Builds a chain of `layers` matmul+tanh blocks, 64x64 weights.
+std::unique_ptr<Module> BuildChain(int64_t layers, Func** out_func,
+                                   Value** out_x) {
+  auto module = std::make_unique<Module>();
+  Func* func = module->AddFunc("main");
+  Value* x = func->body().AddArg(TensorType({64, 64}), "x");
+  std::vector<Value*> weights;
+  for (int64_t i = 0; i < layers; ++i) {
+    weights.push_back(
+        func->body().AddArg(TensorType({64, 64}), StrCat("w", i)));
+  }
+  OpBuilder builder(&func->body());
+  Value* h = x;
+  for (int64_t i = 0; i < layers; ++i) {
+    h = builder.Tanh(builder.MatMul(h, weights[i]));
+  }
+  builder.Return({h});
+  *out_func = func;
+  *out_x = x;
+  return module;
+}
+
+void BM_Propagation(benchmark::State& state) {
+  int64_t layers = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Func* func;
+    Value* x;
+    auto module = BuildChain(layers, &func, &x);
+    PartitionContext ctx(func, Mesh({{"B", 4}}));
+    ctx.TileValue(x, 0, "B");
+    state.ResumeTiming();
+    ctx.Propagate();
+    benchmark::DoNotOptimize(ctx.conflicts().size());
+  }
+  state.SetItemsProcessed(state.iterations() * layers * 2);
+}
+BENCHMARK(BM_Propagation)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_SpmdLowering(benchmark::State& state) {
+  int64_t layers = state.range(0);
+  Func* func;
+  Value* x;
+  auto module = BuildChain(layers, &func, &x);
+  PartitionContext ctx(func, Mesh({{"B", 4}}));
+  ctx.TileValue(x, 0, "B");
+  ctx.Propagate();
+  for (auto _ : state) {
+    SpmdModule spmd = LowerToSpmd(ctx);
+    benchmark::DoNotOptimize(spmd.main()->body().num_ops());
+  }
+  state.SetItemsProcessed(state.iterations() * layers * 2);
+}
+BENCHMARK(BM_SpmdLowering)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_OptimizeSpmd(benchmark::State& state) {
+  int64_t layers = state.range(0);
+  Func* func;
+  Value* x;
+  auto module = BuildChain(layers, &func, &x);
+  PartitionContext ctx(func, Mesh({{"B", 4}}));
+  ctx.TileValue(x, 0, "B");
+  ctx.Propagate();
+  for (auto _ : state) {
+    SpmdModule spmd = LowerToSpmd(ctx);
+    OptimizeSpmd(spmd);
+    benchmark::DoNotOptimize(spmd.main()->body().num_ops());
+  }
+  state.SetItemsProcessed(state.iterations() * layers * 2);
+}
+BENCHMARK(BM_OptimizeSpmd)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace partir
+
+BENCHMARK_MAIN();

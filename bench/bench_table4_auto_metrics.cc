@@ -1,0 +1,106 @@
+// Reproduces Table 4 (Appendix A.2): simulator memory estimate, estimated
+// runtime and collective counts for manual and automatic schedules across
+// the model zoo.
+#include "bench/bench_util.h"
+
+#include "src/sim/cost_model.h"
+
+namespace partir {
+namespace {
+
+using bench::Fmt;
+using bench::PrintHeader;
+using bench::PrintRow;
+using bench::Run;
+
+AutomaticPartition Auto(const std::string& name,
+                        std::vector<std::string> axes) {
+  AutomaticPartition tactic;
+  tactic.name = name;
+  tactic.axes = std::move(axes);
+  tactic.options.simulations = 32;
+  tactic.options.max_actions = 4;
+  return tactic;
+}
+
+void Report(const std::string& model, const std::string& schedule,
+            const PartitionResult& result) {
+  PrintRow({model, schedule,
+            Fmt(result.estimate.peak_memory_bytes / 1e6, "%.2f"),
+            Fmt(result.estimate.step_seconds * 1e3, "%.3f"),
+            StrCat(result.collectives.all_gather),
+            StrCat(result.collectives.all_reduce),
+            StrCat(result.collectives.reduce_scatter),
+            StrCat(result.collectives.all_to_all)});
+}
+
+}  // namespace
+}  // namespace partir
+
+int main() {
+  using namespace partir;
+  using namespace partir::bench;
+  using namespace partir::schedules;
+  PrintHeader("Table 4: memory / est. runtime / collectives per schedule");
+  PrintRow({"model", "schedule", "mem MB", "ms", "AG", "AR", "RS", "A2A"});
+  Mesh mesh({{"batch", 8}, {"model", 2}});
+
+  {
+    GnsConfig config = GnsConfig::Bench();
+    Module module;
+    Func* step = BuildGnsTrainingStep(module, config);
+    Report("GNS", "ES", Run(step, mesh, {GnsES()}));
+    Report("GNS", "ES+AutoMP",
+           Run(step, mesh, {GnsES(), Auto("AutoMP", {"model"})}));
+    Report("GNS", "AllAuto",
+           Run(step, mesh, {Auto("AllAuto", {"batch", "model"})}));
+  }
+  {
+    TransformerConfig config = TransformerConfig::T32Scaled();
+    config.num_layers = 8;
+    Module module;
+    Func* step = BuildTransformerTrainingStep(module, config);
+    Report("T32/8L", "BP", Run(step, mesh, {TransformerBP()}));
+    Report("T32/8L", "BP+MP",
+           Run(step, mesh, {TransformerBP(), TransformerMP()}));
+    Report("T32/8L", "BP+MP+Z2",
+           Run(step, mesh,
+               {TransformerBP(), TransformerMP(), TransformerZ2()}));
+    Report("T32/8L", "BP+MP+Z3",
+           Run(step, mesh,
+               {TransformerBP(), TransformerMP(), TransformerZ3()}));
+    Report("T32/8L", "BP+MP+Z3+EMB",
+           Run(step, mesh,
+               {TransformerBP(), TransformerMP(), TransformerZ3(),
+                TransformerEMB()}));
+    Report("T32/8L", "MP", Run(step, mesh, {TransformerMP()}));
+    Report("T32/8L", "EMB", Run(step, mesh, {TransformerEMB()}));
+    Report("T32/8L", "BP+AutoMP+Z3",
+           Run(step, mesh,
+               {TransformerBP(), Auto("AutoMP", {"model"}),
+                TransformerZ3()}));
+  }
+  {
+    TransformerConfig config = TransformerConfig::T32Scaled();
+    config.seq = 16;
+    Module module;
+    Func* infer = BuildTransformerInference(module, config, 8);
+    ManualPartition bp{"BP", {{"tokens", 0}, {"decode_tokens", 0}}, "batch"};
+    Report("IT32", "BP", Run(infer, mesh, {bp}));
+    Report("IT32", "BP+MP", Run(infer, mesh, {bp, TransformerMP()}));
+    Report("IT32", "MP", Run(infer, mesh, {TransformerMP()}));
+  }
+  {
+    UNetConfig config = UNetConfig::Bench();
+    Module module;
+    Func* step = BuildUNetTrainingStep(module, config);
+    Report("UNet", "BP", Run(step, mesh, {UNetBP()}));
+    Report("UNet", "BP+Z2", Run(step, mesh, {UNetBP(), UNetZ2()}));
+    Report("UNet", "BP+Z3", Run(step, mesh, {UNetBP(), UNetZ3()}));
+    Report("UNet", "BP+AutoMP",
+           Run(step, mesh, {UNetBP(), Auto("AutoMP", {"model"})}));
+    Report("UNet", "AllAuto",
+           Run(step, mesh, {Auto("AllAuto", {"batch", "model"})}));
+  }
+  return 0;
+}

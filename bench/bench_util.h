@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared helpers for the experiment-reproduction binaries: table printing
+ * and schedule construction. Each bench binary regenerates one table or
+ * figure of the paper (see DESIGN.md's per-experiment index); absolute
+ * numbers come from the simulator substrate, the *shape* (who wins, by what
+ * factor) is the reproduction target (EXPERIMENTS.md).
+ */
+#ifndef PARTIR_BENCH_BENCH_UTIL_H_
+#define PARTIR_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/models/gns.h"
+#include "src/models/schedules.h"
+#include "src/models/transformer.h"
+#include "src/models/unet.h"
+#include "src/schedule/schedule.h"
+
+namespace partir {
+namespace bench {
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void PrintRow(const std::vector<std::string>& cells, int width = 16) {
+  for (const std::string& cell : cells) {
+    std::printf("%-*s", width, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+/** Runs a schedule on a fresh context over `func`. */
+inline PartitionResult Run(Func* func, const Mesh& mesh,
+                           const std::vector<Tactic>& schedule,
+                           const DeviceSpec& device = Tpu_v3(),
+                           bool incremental = true,
+                           bool per_tactic = false) {
+  PartitionContext ctx(func, mesh);
+  PartitionOptions options;
+  options.device = device;
+  options.incremental = incremental;
+  options.per_tactic_reports = per_tactic;
+  return PartirJit(ctx, schedule, options);
+}
+
+inline std::string Fmt(double value, const char* format = "%.2f") {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), format, value);
+  return std::string(buffer);
+}
+
+}  // namespace bench
+}  // namespace partir
+
+#endif  // PARTIR_BENCH_BENCH_UTIL_H_

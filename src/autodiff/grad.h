@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Reverse-mode automatic differentiation over the array IR.
+ *
+ * The paper's systems obtain training-step programs from JAX's tracing of
+ * `jax.grad`; this module provides the equivalent substrate: given a
+ * function computing a scalar loss, it builds a new function that computes
+ * the loss plus the gradient w.r.t. selected arguments, by cloning the
+ * forward computation and emitting vector-Jacobian products in reverse.
+ *
+ * Supported: all elementwise ops (max/min reductions and elementwise
+ * max/min are treated as locally constant, which keeps softmax/logsumexp
+ * gradients exact), dot_general, transpose, reshape, broadcast, reduce-sum,
+ * concatenate, gather/scatter and convolutions.
+ */
+#ifndef PARTIR_AUTODIFF_GRAD_H_
+#define PARTIR_AUTODIFF_GRAD_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ir/ir.h"
+
+namespace partir {
+
+/**
+ * Builds `name` in `module`: a function with the same signature as `fwd`
+ * that returns fwd's outputs followed by d(output 0)/d(arg i) for each i in
+ * `wrt` (in order). Output 0 must be a scalar (rank-0) tensor.
+ */
+Func* BuildGradFunc(const Func& fwd, Module& module, const std::string& name,
+                    const std::vector<int>& wrt);
+
+/** Adam optimizer hyper-parameters (paper Section 7.1 uses Adam). */
+struct AdamConfig {
+  double learning_rate = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+};
+
+/**
+ * Builds a full training step from a loss function.
+ *
+ * `loss_fn` has args [p_0..p_{n-1}, batch...] and returns a scalar loss.
+ * The built function has args [p..., m..., v..., batch...] (Adam first and
+ * second moments per parameter) and returns
+ * [new_p..., new_m..., new_v..., loss] — the program shape whose
+ * partitioning the paper's Table 3 characterizes (one gradient per
+ * parameter plus a loss reduction).
+ */
+Func* BuildTrainingStep(const Func& loss_fn, Module& module,
+                        const std::string& name, int num_params,
+                        const AdamConfig& config = AdamConfig());
+
+}  // namespace partir
+
+#endif  // PARTIR_AUTODIFF_GRAD_H_

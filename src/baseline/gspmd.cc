@@ -1,0 +1,150 @@
+#include "src/baseline/gspmd.h"
+
+#include <algorithm>
+
+#include "src/spmd/optimize.h"
+
+namespace partir {
+namespace {
+
+// Applies an annotation to all matching values (exact name, then substring).
+int Annotate(PartitionContext& ctx, const GspmdAnnotation& annotation) {
+  std::vector<Value*> values;
+  if (Value* exact = ctx.FindValue(annotation.name)) {
+    values.push_back(exact);
+  } else {
+    for (const auto& arg : ctx.func()->body().args()) {
+      if (arg->name().find(annotation.name) != std::string::npos) {
+        values.push_back(arg.get());
+      }
+    }
+  }
+  int applied = 0;
+  for (Value* value : values) {
+    if (ctx.TileValue(value, annotation.dim, annotation.axis)) ++applied;
+  }
+  return applied;
+}
+
+// The whole-module propagation fixpoint with heuristic conflict resolution.
+class GspmdPropagation {
+ public:
+  GspmdPropagation(PartitionContext& ctx) : ctx_(ctx) {}
+
+  int Run() {
+    int resolutions = 0;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      WalkOps(ctx_.func()->body(), [&](Operation& op) {
+        if (op.kind() == OpKind::kReturn) return;
+        OpShardingSpec spec = GetShardingSpec(op);
+        if (!spec.propagatable) return;
+        // Collect per-axis candidate factors from operand/result states.
+        std::map<std::string, std::vector<int>> candidates;
+        for (int i = 0; i < op.num_operands(); ++i) {
+          for (const ValueTile& tile : ctx_.state(op.operand(i)).tiles) {
+            int factor =
+                spec.FactorForOperandDim(i, static_cast<int>(tile.dim));
+            if (factor >= 0) Add(candidates[tile.axis], factor);
+          }
+        }
+        if (op.num_results() == 1) {
+          for (const ValueTile& tile : ctx_.state(op.result()).tiles) {
+            int factor =
+                spec.FactorForResultDim(static_cast<int>(tile.dim));
+            if (factor >= 0) Add(candidates[tile.axis], factor);
+          }
+        }
+        for (auto& [axis, factors] : candidates) {
+          if (HasAxis(op, axis)) continue;
+          int chosen = factors.front();
+          if (factors.size() > 1) {
+            // GSPMD-style cost heuristic: pick the factor that keeps the
+            // most bytes sharded (largest participating tensor wins).
+            chosen = *std::max_element(
+                factors.begin(), factors.end(), [&](int a, int b) {
+                  return FactorBytes(op, spec, a) < FactorBytes(op, spec, b);
+                });
+            ++resolutions;
+          }
+          if (ctx_.ForceOpAxis(&op, axis, chosen)) {
+            changed = true;
+            // Propagate into unannotated operands (annotation spreading).
+            const Factor& factor = spec.factors[chosen];
+            for (int i = 0; i < op.num_operands(); ++i) {
+              if (i >= static_cast<int>(factor.operand_dims.size())) break;
+              int dim = factor.operand_dims[i];
+              if (dim < 0) continue;
+              Value* operand = op.operand(i);
+              if (!ctx_.state(operand).HasAxis(axis)) {
+                ctx_.TileValue(operand, dim, axis);
+              }
+            }
+          }
+        }
+      });
+    }
+    return resolutions;
+  }
+
+ private:
+  static void Add(std::vector<int>& factors, int factor) {
+    if (std::find(factors.begin(), factors.end(), factor) == factors.end()) {
+      factors.push_back(factor);
+    }
+  }
+
+  bool HasAxis(const Operation& op, const std::string& axis) const {
+    for (const OpAxisEntry& entry : ctx_.nest(&op)) {
+      if (entry.axis == axis) return true;
+    }
+    return false;
+  }
+
+  // Bytes of the largest tensor participating in a factor.
+  double FactorBytes(const Operation& op, const OpShardingSpec& spec,
+                     int factor_index) const {
+    const Factor& factor = spec.factors[factor_index];
+    double best = 0;
+    for (int i = 0; i < op.num_operands(); ++i) {
+      if (i >= static_cast<int>(factor.operand_dims.size())) break;
+      if (factor.operand_dims[i] < 0) continue;
+      best = std::max(
+          best,
+          static_cast<double>(op.operand(i)->tensor_type().ByteSize()));
+    }
+    if (factor.result_dim >= 0) {
+      best = std::max(
+          best, static_cast<double>(op.result()->tensor_type().ByteSize()));
+    }
+    return best;
+  }
+
+  PartitionContext& ctx_;
+};
+
+}  // namespace
+
+GspmdResult GspmdPartition(PartitionContext& ctx,
+                           const std::vector<GspmdAnnotation>& inputs,
+                           const std::vector<GspmdAnnotation>& internal,
+                           const GspmdOptions& options) {
+  // All annotations are seeded up-front (no tactic boundaries).
+  for (const GspmdAnnotation& annotation : inputs) {
+    Annotate(ctx, annotation);
+  }
+  if (options.use_internal_constraints) {
+    for (const GspmdAnnotation& annotation : internal) {
+      Annotate(ctx, annotation);
+    }
+  }
+  GspmdResult result;
+  result.heuristic_resolutions = GspmdPropagation(ctx).Run();
+  // Codegen is a separate pass from propagation (the GSPMD design).
+  result.spmd = LowerToSpmd(ctx);
+  OptimizeSpmd(result.spmd);
+  return result;
+}
+
+}  // namespace partir

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * A GSPMD-style baseline partitioner (the comparator of Sections 7.2/7.4).
+ *
+ * Where PartIR applies tactics *incrementally* and refuses to resolve
+ * conflicts (tactic order resolves them), this baseline reproduces the
+ * GSPMD design point:
+ *   - all sharding annotations are provided up front (no incrementality);
+ *   - a whole-module annotation-propagation fixpoint resolves per-op
+ *     conflicts with a cost *heuristic* (larger tensors win);
+ *   - collective insertion ("codegen") is a separate pass from propagation
+ *     (we reuse the SPMD lowering; Section 8 discusses why the separation
+ *     is brittle in the real system).
+ *
+ * Two modes reproduce the Figure 7 comparison:
+ *   - GSPMD:   with `internal_constraints` — per-value sharding constraints
+ *              the expert placed inside the model (on tagged values);
+ *   - GSPMD--: without them (set `use_internal_constraints = false`).
+ */
+#ifndef PARTIR_BASELINE_GSPMD_H_
+#define PARTIR_BASELINE_GSPMD_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/context.h"
+#include "src/spmd/lowering.h"
+
+namespace partir {
+
+/** One sharding annotation: value (arg/tag name, or substring) -> dim@axis. */
+struct GspmdAnnotation {
+  std::string name;
+  int64_t dim;
+  std::string axis;
+};
+
+struct GspmdOptions {
+  bool use_internal_constraints = true;
+};
+
+/** Result: the device-local module plus the context used to lower it. */
+struct GspmdResult {
+  SpmdModule spmd;
+  int heuristic_resolutions = 0;  // conflicts the cost heuristic decided
+};
+
+/**
+ * Runs the baseline on `ctx` (a fresh context for the function). `inputs`
+ * are the user's input annotations; `internal` the expert's model-internal
+ * sharding constraints (ignored for GSPMD--).
+ */
+GspmdResult GspmdPartition(PartitionContext& ctx,
+                           const std::vector<GspmdAnnotation>& inputs,
+                           const std::vector<GspmdAnnotation>& internal,
+                           const GspmdOptions& options = {});
+
+}  // namespace partir
+
+#endif  // PARTIR_BASELINE_GSPMD_H_

@@ -1,0 +1,333 @@
+#include "src/core/context.h"
+
+#include <algorithm>
+
+#include "src/support/str_util.h"
+
+namespace partir {
+
+int64_t PartitionContext::LocalDimSize(const std::vector<int64_t>& dims,
+                                       const ValueState& state,
+                                       int64_t dim) const {
+  int64_t size = dims.at(dim);
+  for (const ValueTile& tile : state.tiles) {
+    if (tile.dim == dim) size /= mesh_.AxisSize(tile.axis);
+  }
+  return size;
+}
+
+bool PartitionContext::TileValue(Value* value, int64_t dim,
+                                 const std::string& axis) {
+  PARTIR_CHECK(mesh_.HasAxis(axis)) << "unknown axis '" << axis << "'";
+  PARTIR_CHECK(value->type().IsTensor()) << "tile target must be a tensor";
+  const TensorType& type = value->tensor_type();
+  PARTIR_CHECK(dim >= 0 && dim < type.rank()) << "tile dim out of range";
+  ValueState& state = value_state_[value];
+  if (state.HasAxis(axis)) return false;
+  if (IsAtomic(value, axis)) return false;
+  int64_t local = LocalDimSize(type.dims(), state, dim);
+  if (local % mesh_.AxisSize(axis) != 0) return false;
+  state.tiles.push_back(ValueTile{axis, dim});
+  return true;
+}
+
+void PartitionContext::AtomicValue(Value* value, const std::string& axis) {
+  PARTIR_CHECK(mesh_.HasAxis(axis)) << "unknown axis '" << axis << "'";
+  atomic_[value].insert(axis);
+}
+
+std::vector<ValueTile> PartitionContext::RealizedTiles(
+    const Value* value) const {
+  if (value->IsBlockArg()) return state(value).tiles;
+  const Operation* def = value->def();
+  PARTIR_CHECK(def != nullptr) << "value has no defining op";
+  std::vector<ValueTile> tiles;
+  OpShardingSpec spec = GetShardingSpec(*def);
+  for (const OpAxisEntry& entry : nest(def)) {
+    if (entry.contracting) continue;
+    const Factor& factor = spec.factors.at(entry.factor);
+    PARTIR_CHECK(factor.result_dim >= 0);
+    tiles.push_back(ValueTile{entry.axis, factor.result_dim});
+  }
+  return tiles;
+}
+
+std::vector<int64_t> PartitionContext::LocalDims(const Value* value) const {
+  std::vector<int64_t> dims = value->tensor_type().dims();
+  for (const ValueTile& tile : RealizedTiles(value)) {
+    PARTIR_CHECK(dims[tile.dim] % mesh_.AxisSize(tile.axis) == 0);
+    dims[tile.dim] /= mesh_.AxisSize(tile.axis);
+  }
+  return dims;
+}
+
+Value* PartitionContext::FindValue(const std::string& name) const {
+  if (Value* arg = func_->FindArg(name)) return arg;
+  Value* found = nullptr;
+  WalkOps(func_->body(), [&](const Operation& op) {
+    if (op.kind() == OpKind::kTag &&
+        op.attrs().Get<std::string>("name") == name) {
+      found = op.result();
+    }
+  });
+  return found;
+}
+
+namespace {
+
+/** A candidate propagation step: tile op along `axis` via `factor`. */
+struct Candidate {
+  std::string axis;
+  int factor;
+};
+
+}  // namespace
+
+/** Runs the propagation fixpoint over a PartitionContext. */
+class Propagator {
+ public:
+  explicit Propagator(PartitionContext& ctx) : ctx_(ctx) {}
+
+  int Run() {
+    int total_applied = 0;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      WalkOps(ctx_.func_->body(), [&](Operation& op) {
+        int applied = VisitOp(op);
+        if (applied > 0) changed = true;
+        total_applied += applied;
+      });
+    }
+    return total_applied;
+  }
+
+ private:
+  void ReportConflict(const Operation* op, const std::string& axis,
+                      const std::string& reason) {
+    if (!ctx_.reported_.insert({op, axis}).second) return;
+    ctx_.conflicts_.push_back(Conflict{op, axis, reason});
+  }
+
+  bool OpHasAxis(const Operation* op, const std::string& axis,
+                 int* factor = nullptr) const {
+    for (const OpAxisEntry& entry : ctx_.nest(op)) {
+      if (entry.axis == axis) {
+        if (factor != nullptr) *factor = entry.factor;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Collects axis -> candidate factors for one op, from operand states
+  // (forward propagation) and the result state (backward propagation).
+  std::vector<std::pair<std::string, std::vector<Candidate>>> CollectByAxis(
+      const Operation& op, const OpShardingSpec& spec) {
+    std::vector<std::pair<std::string, std::vector<Candidate>>> by_axis;
+    auto add = [&](const std::string& axis, int factor) {
+      for (auto& [a, cands] : by_axis) {
+        if (a != axis) continue;
+        for (const Candidate& c : cands) {
+          if (c.factor == factor) return;
+        }
+        cands.push_back(Candidate{axis, factor});
+        return;
+      }
+      by_axis.push_back({axis, {Candidate{axis, factor}}});
+    };
+    // Forward: operand value tiles matching a factor dim.
+    for (int i = 0; i < op.num_operands(); ++i) {
+      const ValueState& state = ctx_.state(op.operand(i));
+      for (const ValueTile& tile : state.tiles) {
+        int factor = spec.FactorForOperandDim(i, static_cast<int>(tile.dim));
+        if (factor >= 0) add(tile.axis, factor);
+      }
+    }
+    // Backward: result value tiles matching a factor's result dim.
+    if (op.num_results() == 1) {
+      const ValueState& state = ctx_.state(op.result());
+      for (const ValueTile& tile : state.tiles) {
+        int factor = spec.FactorForResultDim(static_cast<int>(tile.dim));
+        if (factor >= 0) add(tile.axis, factor);
+      }
+    }
+    return by_axis;
+  }
+
+  int VisitOp(Operation& op) {
+    if (op.kind() == OpKind::kReturn || op.kind() == OpKind::kYield) return 0;
+    // Barrier tags (Section 3 "propagation barriers"): tilings never flow
+    // across them; lowering redistributes producer->consumer placements.
+    if (op.kind() == OpKind::kTag &&
+        op.attrs().GetOr<int64_t>("barrier", 0) == 1) {
+      return 0;
+    }
+    OpShardingSpec spec = GetShardingSpec(op);
+    if (!spec.propagatable) return 0;
+    int applied = 0;
+    for (auto& [axis, candidates] : CollectByAxis(op, spec)) {
+      int existing_factor = -1;
+      if (OpHasAxis(&op, axis, &existing_factor)) {
+        // Axis already in the nest. A candidate for a *different* factor is
+        // a genuine conflict (two TMR entries match, Section 5.2.3);
+        // tactic ordering has already prioritized the existing one.
+        for (const Candidate& candidate : candidates) {
+          if (candidate.factor != existing_factor) {
+            ReportConflict(&op, axis,
+                           "axis already bound to another factor "
+                           "(resolved by tactic order)");
+          }
+        }
+        continue;
+      }
+      if (candidates.size() > 1) {
+        // Multiple TMR entries match simultaneously: never auto-resolve.
+        ReportConflict(&op, axis, "multiple TMR entries match");
+        continue;
+      }
+      const Candidate& candidate = candidates.front();
+      if (TryApply(op, spec, candidate)) {
+        ++applied;
+      }
+    }
+    return applied;
+  }
+
+  // Checks feasibility of tiling `op` along candidate.axis via the factor,
+  // and applies it: appends the nest entry, updates the result state, and
+  // infers missing operand tiles (Section 5.2.2 "inference").
+  bool TryApply(Operation& op, const OpShardingSpec& spec,
+                const Candidate& candidate) {
+    const Factor& factor = spec.factors.at(candidate.factor);
+    const std::string& axis = candidate.axis;
+    int64_t axis_size = ctx_.mesh_.AxisSize(axis);
+
+    // Operand feasibility.
+    for (int i = 0; i < op.num_operands(); ++i) {
+      if (i >= static_cast<int>(factor.operand_dims.size())) break;
+      int dim = factor.operand_dims[i];
+      if (dim < 0) continue;
+      Value* operand = op.operand(i);
+      const ValueState& state = ctx_.state(operand);
+      int64_t existing = state.DimOfAxis(axis);
+      // An operand already tiled on a *different* dim does not block the
+      // entry: SPMD lowering redistributes it (all_to_all, Appendix C.5).
+      if (existing < 0) {
+        if (ctx_.IsAtomic(operand, axis)) {
+          ReportConflict(&op, axis, "operand is atomic (kept replicated)");
+          return false;
+        }
+        int64_t local = ctx_.LocalDimSize(operand->tensor_type().dims(),
+                                          state, dim);
+        if (local % axis_size != 0) {
+          ReportConflict(&op, axis, "operand dim not divisible by axis");
+          return false;
+        }
+      }
+    }
+    // Result feasibility (for tiling factors).
+    Value* result = op.num_results() == 1 ? op.result() : nullptr;
+    if (!factor.contracting) {
+      PARTIR_CHECK(result != nullptr);
+      const ValueState& state = ctx_.state(result);
+      int64_t existing = state.DimOfAxis(axis);
+      if (existing >= 0 && existing != factor.result_dim) {
+        ReportConflict(&op, axis, "result tiled on a different dim");
+        return false;
+      }
+      if (ctx_.IsAtomic(result, axis)) {
+        ReportConflict(&op, axis, "result is atomic (kept replicated)");
+        return false;
+      }
+      if (existing < 0) {
+        int64_t local = ctx_.LocalDimSize(result->tensor_type().dims(), state,
+                                          factor.result_dim);
+        if (local % axis_size != 0) {
+          ReportConflict(&op, axis, "result dim not divisible by axis");
+          return false;
+        }
+      }
+    } else if (result != nullptr && ctx_.state(result).HasAxis(axis)) {
+      // Result already tiled along this axis by another factor: summing over
+      // the same axis would nest it twice.
+      ReportConflict(&op, axis, "sum axis already tiles the result");
+      return false;
+    }
+
+    // Apply.
+    ctx_.op_nest_[&op].push_back(
+        OpAxisEntry{axis, factor.contracting, candidate.factor});
+    if (!factor.contracting) {
+      ValueState& rstate = ctx_.value_state_[result];
+      if (!rstate.HasAxis(axis)) {
+        rstate.tiles.push_back(ValueTile{axis, factor.result_dim});
+      }
+    }
+    for (int i = 0; i < op.num_operands(); ++i) {
+      if (i >= static_cast<int>(factor.operand_dims.size())) break;
+      int dim = factor.operand_dims[i];
+      if (dim < 0) continue;
+      ValueState& ostate = ctx_.value_state_[op.operand(i)];
+      if (!ostate.HasAxis(axis)) {
+        ostate.tiles.push_back(ValueTile{axis, dim});
+      }
+    }
+    return true;
+  }
+
+  PartitionContext& ctx_;
+};
+
+int PartitionContext::Propagate() { return Propagator(*this).Run(); }
+
+bool PartitionContext::ForceOpAxis(Operation* op, const std::string& axis,
+                                   int factor_index) {
+  OpShardingSpec spec = GetShardingSpec(*op);
+  if (!spec.propagatable) return false;
+  if (factor_index < 0 ||
+      factor_index >= static_cast<int>(spec.factors.size())) {
+    return false;
+  }
+  for (const OpAxisEntry& entry : nest(op)) {
+    if (entry.axis == axis) return false;
+  }
+  const Factor& factor = spec.factors[factor_index];
+  int64_t axis_size = mesh_.AxisSize(axis);
+  // Structural feasibility: sliced dims must divide.
+  for (int i = 0; i < op->num_operands(); ++i) {
+    if (i >= static_cast<int>(factor.operand_dims.size())) break;
+    int dim = factor.operand_dims[i];
+    if (dim < 0) continue;
+    const Value* operand = op->operand(i);
+    int64_t local = LocalDimSize(operand->tensor_type().dims(),
+                                 ValueState{}, dim);
+    for (const OpAxisEntry& entry : nest(op)) {
+      const Factor& other = spec.factors[entry.factor];
+      if (i < static_cast<int>(other.operand_dims.size()) &&
+          other.operand_dims[i] == dim) {
+        local /= mesh_.AxisSize(entry.axis);
+      }
+    }
+    if (local % axis_size != 0) return false;
+  }
+  if (!factor.contracting) {
+    Value* result = op->result();
+    ValueState& rstate = value_state_[result];
+    if (rstate.HasAxis(axis) &&
+        rstate.DimOfAxis(axis) != factor.result_dim) {
+      return false;
+    }
+    int64_t local = LocalDimSize(result->tensor_type().dims(), rstate,
+                                 factor.result_dim);
+    if (!rstate.HasAxis(axis)) {
+      if (local % axis_size != 0) return false;
+      rstate.tiles.push_back(ValueTile{axis, factor.result_dim});
+    }
+  }
+  op_nest_[op].push_back(
+      OpAxisEntry{axis, factor.contracting, factor_index});
+  return true;
+}
+
+}  // namespace partir

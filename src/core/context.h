@@ -1,0 +1,163 @@
+/**
+ * @file
+ * PartitionContext: the PartIR:Core rewrite state for one function.
+ *
+ * The paper expresses partitioning decisions as loop/slice rewrites in the
+ * IR. We carry the equivalent information as analysis state — an ordered
+ * axis *nest* per operation (mirroring the loop nest of the fused form,
+ * Listing 7) and an ordered list of (axis, dim) tiles per value (the value
+ * tiling actions of Section 5.1). The state is materialized into the real
+ * loop/slice region form by `MaterializeLoops` (materialize.h) and consumed
+ * by the SPMD lowering; keeping it as state makes the propagation pass a
+ * fixpoint over use-def edges instead of a graph rewrite, with identical
+ * semantics.
+ *
+ * Compiler actions (Section 3):
+ *   tile<value, dim, axis>   -> PartitionContext::TileValue
+ *   atomic<value, axis>      -> PartitionContext::AtomicValue
+ *   propagate                -> PartitionContext::Propagate
+ */
+#ifndef PARTIR_CORE_CONTEXT_H_
+#define PARTIR_CORE_CONTEXT_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/factors.h"
+#include "src/ir/ir.h"
+#include "src/mesh/mesh.h"
+
+namespace partir {
+
+/** One (axis, dim) tile of a value; order in the list = loop-nest order. */
+struct ValueTile {
+  std::string axis;
+  int64_t dim;
+};
+
+/** The tiling state of one value. */
+struct ValueState {
+  std::vector<ValueTile> tiles;
+
+  /** Returns the tiled dim for an axis, or -1. */
+  int64_t DimOfAxis(const std::string& axis) const {
+    for (const ValueTile& tile : tiles) {
+      if (tile.axis == axis) return tile.dim;
+    }
+    return -1;
+  }
+  bool HasAxis(const std::string& axis) const { return DimOfAxis(axis) >= 0; }
+};
+
+/** One axis of an operation's loop nest. */
+struct OpAxisEntry {
+  std::string axis;
+  bool contracting = false;  // true => #sum loop, false => #tile loop
+  int factor = -1;           // index into GetShardingSpec(op).factors
+};
+
+/** Why a propagation step could not be applied (for diagnostics/tests). */
+struct Conflict {
+  const Operation* op;
+  std::string axis;
+  std::string reason;
+};
+
+/** Partitioning state and compiler actions for one function. */
+class PartitionContext {
+ public:
+  PartitionContext(Func* func, Mesh mesh)
+      : func_(func), mesh_(std::move(mesh)) {}
+
+  Func* func() const { return func_; }
+  const Mesh& mesh() const { return mesh_; }
+
+  // ---- Compiler actions ----
+
+  /**
+   * tile<value, dim, axis>: declares that `value` is tiled on `dim` along
+   * mesh `axis`. Returns false (without changing state) if the action is
+   * invalid: axis already used on the value, dim not divisible by the axis
+   * size, or the value is atomic on that axis.
+   */
+  bool TileValue(Value* value, int64_t dim, const std::string& axis);
+
+  /**
+   * atomic<value, axis>: keeps `value` replicated across `axis`, blocking
+   * propagation through it (the [any] loop of Section 8).
+   */
+  void AtomicValue(Value* value, const std::string& axis);
+
+  /**
+   * Propagation pass (Section 5.2.2): greedily extends tiling decisions
+   * through the TMR until fixpoint. Conflicts (Section 5.2.3) are recorded,
+   * never auto-resolved. Returns the number of op-nest entries applied.
+   */
+  int Propagate();
+
+  /**
+   * Forces a nest entry onto an operation, bypassing PartIR's conflict
+   * refusal. Used by the GSPMD-style baseline, whose heuristics *resolve*
+   * conflicts instead of refusing them (Sections 7.4/8). Returns false if
+   * the entry is structurally impossible (axis already nested, indivisible
+   * dims).
+   */
+  bool ForceOpAxis(Operation* op, const std::string& axis, int factor_index);
+
+  // ---- Queries ----
+
+  const ValueState& state(const Value* value) const {
+    static const ValueState kEmpty;
+    auto it = value_state_.find(value);
+    return it == value_state_.end() ? kEmpty : it->second;
+  }
+
+  const std::vector<OpAxisEntry>& nest(const Operation* op) const {
+    static const std::vector<OpAxisEntry> kEmpty;
+    auto it = op_nest_.find(op);
+    return it == op_nest_.end() ? kEmpty : it->second;
+  }
+
+  bool IsAtomic(const Value* value, const std::string& axis) const {
+    auto it = atomic_.find(value);
+    return it != atomic_.end() && it->second.count(axis) > 0;
+  }
+
+  /**
+   * The tiles actually *produced* for a value: for block arguments this is
+   * the declared state (inputs arrive sharded); for op results it is derived
+   * from the producing op's nest. A value whose state is richer than its
+   * realized tiles is materialized in full and sliced locally by consumers.
+   */
+  std::vector<ValueTile> RealizedTiles(const Value* value) const;
+
+  /** Device-local dims of a value under its realized tiles. */
+  std::vector<int64_t> LocalDims(const Value* value) const;
+
+  /** Finds a function argument by name, or a tag op result by tag name. */
+  Value* FindValue(const std::string& name) const;
+
+  const std::vector<Conflict>& conflicts() const { return conflicts_; }
+  void ClearConflicts() { conflicts_.clear(); }
+
+  /** Local size of `dim` of `dims` after dividing by existing tiles. */
+  int64_t LocalDimSize(const std::vector<int64_t>& dims,
+                       const ValueState& state, int64_t dim) const;
+
+ private:
+  friend class Propagator;
+
+  Func* func_;
+  Mesh mesh_;
+  std::map<const Value*, ValueState> value_state_;
+  std::map<const Operation*, std::vector<OpAxisEntry>> op_nest_;
+  std::map<const Value*, std::set<std::string>> atomic_;
+  std::vector<Conflict> conflicts_;
+  std::set<std::pair<const Operation*, std::string>> reported_;
+};
+
+}  // namespace partir
+
+#endif  // PARTIR_CORE_CONTEXT_H_

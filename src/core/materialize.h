@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Materializes a PartitionContext into the PartIR:Core loop/slice region
+ * form (Section 5): every operation with a non-empty axis nest is rewritten
+ * into nested `loop axis [#tile<d>|#sum]` ops whose bodies slice the
+ * operands and yield per-iteration results. The resulting module has the
+ * same types and, under the sequential loop semantics of the reference
+ * interpreter, the same meaning as the input module — the executable form
+ * of the paper's Figure 4 program equivalences.
+ */
+#ifndef PARTIR_CORE_MATERIALIZE_H_
+#define PARTIR_CORE_MATERIALIZE_H_
+
+#include <memory>
+
+#include "src/core/context.h"
+#include "src/ir/ir.h"
+
+namespace partir {
+
+/** Builds the loop-form module for the context's function. */
+std::unique_ptr<Module> MaterializeLoops(const PartitionContext& ctx);
+
+}  // namespace partir
+
+#endif  // PARTIR_CORE_MATERIALIZE_H_

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Reference interpreter for the array IR and PartIR:Core. Loops execute with
+ * the paper's *sequential* semantics (Figure 13): a #tile loop concatenates
+ * per-iteration results along the tiled dim, a #sum loop accumulates them,
+ * and an [any] loop evaluates a single iteration. This gives an executable
+ * specification against which partitioned programs are verified.
+ */
+#ifndef PARTIR_INTERP_INTERPRETER_H_
+#define PARTIR_INTERP_INTERPRETER_H_
+
+#include <map>
+#include <vector>
+
+#include "src/interp/tensor.h"
+#include "src/ir/ir.h"
+
+namespace partir {
+
+/** Environment mapping IR values to runtime tensors. */
+using Env = std::map<const Value*, Tensor>;
+
+/** Evaluates a single operation given its operand tensors. */
+std::vector<Tensor> EvalOp(const Operation& op,
+                           const std::vector<Tensor>& operands);
+
+/**
+ * Evaluates `func` on the given positional inputs, returning the values of
+ * its return op. Handles array ops and PartIR:Core loop/slice ops; SPMD
+ * collectives are rejected (use the SPMD interpreter).
+ */
+std::vector<Tensor> Evaluate(const Func& func,
+                             const std::vector<Tensor>& inputs);
+
+/** Builds deterministic random inputs matching a function's signature. */
+std::vector<Tensor> MakeRandomInputs(const Func& func, uint64_t seed,
+                                     float index_modulus = 0.0f);
+
+}  // namespace partir
+
+#endif  // PARTIR_INTERP_INTERPRETER_H_

@@ -1,0 +1,88 @@
+#include "src/interp/tensor.h"
+
+#include <cmath>
+
+namespace partir {
+
+Tensor Tensor::SliceChunk(int64_t dim, int64_t chunk, int64_t count) const {
+  PARTIR_CHECK(dims_.at(dim) % count == 0) << "chunk count must divide dim";
+  PARTIR_CHECK(chunk >= 0 && chunk < count);
+  std::vector<int64_t> out_dims = dims_;
+  out_dims[dim] /= count;
+  Tensor out(out_dims);
+  int64_t chunk_size = out_dims[dim];
+  ForEachIndex(out_dims, [&](const std::vector<int64_t>& index) {
+    std::vector<int64_t> src = index;
+    src[dim] += chunk * chunk_size;
+    out.Set(index, Get(src));
+  });
+  return out;
+}
+
+Tensor Tensor::Concat(const std::vector<Tensor>& parts, int64_t dim) {
+  PARTIR_CHECK(!parts.empty());
+  std::vector<int64_t> out_dims = parts.front().dims();
+  int64_t total = 0;
+  for (const Tensor& part : parts) total += part.dim(dim);
+  out_dims[dim] = total;
+  Tensor out(out_dims);
+  int64_t offset = 0;
+  for (const Tensor& part : parts) {
+    ForEachIndex(part.dims(), [&](const std::vector<int64_t>& index) {
+      std::vector<int64_t> dst = index;
+      dst[dim] += offset;
+      out.Set(dst, part.Get(index));
+    });
+    offset += part.dim(dim);
+  }
+  return out;
+}
+
+Tensor Tensor::Combine(const Tensor& a, const Tensor& b,
+                       const std::function<float(float, float)>& fn) {
+  PARTIR_CHECK(a.dims() == b.dims()) << "combine shape mismatch";
+  Tensor out(a.dims());
+  for (int64_t i = 0; i < a.size(); ++i) {
+    out.at(i) = fn(a.at(i), b.at(i));
+  }
+  return out;
+}
+
+Tensor Tensor::Random(std::vector<int64_t> dims, uint64_t seed) {
+  Tensor out(std::move(dims));
+  // SplitMix64, deterministic across platforms.
+  uint64_t state = seed + 0x9E3779B97F4A7C15ULL;
+  for (int64_t i = 0; i < out.size(); ++i) {
+    state += 0x9E3779B97F4A7C15ULL;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    z = z ^ (z >> 31);
+    out.at(i) = static_cast<float>(z % 100000) / 100000.0f - 0.5f;
+  }
+  return out;
+}
+
+float Tensor::MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  PARTIR_CHECK(a.dims() == b.dims()) << "diff shape mismatch";
+  float max_diff = 0.0f;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(a.at(i) - b.at(i)));
+  }
+  return max_diff;
+}
+
+void ForEachIndex(const std::vector<int64_t>& dims,
+                  const std::function<void(const std::vector<int64_t>&)>& fn) {
+  std::vector<int64_t> index(dims.size(), 0);
+  int64_t total = Tensor::NumElementsOf(dims);
+  for (int64_t count = 0; count < total; ++count) {
+    fn(index);
+    for (int i = static_cast<int>(dims.size()) - 1; i >= 0; --i) {
+      if (++index[i] < dims[i]) break;
+      index[i] = 0;
+    }
+  }
+}
+
+}  // namespace partir

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * A dense row-major float tensor used by the reference and SPMD interpreters.
+ * Integer-typed IR values (gather/scatter indices) store their values in the
+ * float payload; shapes in this project are small enough that exactness is
+ * preserved (|int| < 2^24).
+ */
+#ifndef PARTIR_INTERP_TENSOR_H_
+#define PARTIR_INTERP_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <numeric>
+#include <vector>
+
+#include "src/support/check.h"
+
+namespace partir {
+
+/** Dense row-major tensor of floats. */
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int64_t> dims, float fill = 0.0f)
+      : dims_(std::move(dims)),
+        data_(NumElementsOf(dims_), fill) {}
+  Tensor(std::vector<int64_t> dims, std::vector<float> data)
+      : dims_(std::move(dims)), data_(std::move(data)) {
+    PARTIR_CHECK(static_cast<int64_t>(data_.size()) == NumElementsOf(dims_))
+        << "tensor data size mismatch";
+  }
+
+  static int64_t NumElementsOf(const std::vector<int64_t>& dims) {
+    return std::accumulate(dims.begin(), dims.end(), int64_t{1},
+                           std::multiplies<int64_t>());
+  }
+
+  const std::vector<int64_t>& dims() const { return dims_; }
+  int64_t dim(int i) const { return dims_.at(i); }
+  int rank() const { return static_cast<int>(dims_.size()); }
+  int64_t size() const { return static_cast<int64_t>(data_.size()); }
+
+  const std::vector<float>& data() const { return data_; }
+  std::vector<float>& data() { return data_; }
+
+  float& at(int64_t flat) { return data_.at(flat); }
+  float at(int64_t flat) const { return data_.at(flat); }
+
+  /** Row-major strides. */
+  std::vector<int64_t> Strides() const {
+    std::vector<int64_t> strides(dims_.size(), 1);
+    for (int i = static_cast<int>(dims_.size()) - 2; i >= 0; --i) {
+      strides[i] = strides[i + 1] * dims_[i + 1];
+    }
+    return strides;
+  }
+
+  /** Flat offset of a multi-index. */
+  int64_t Offset(const std::vector<int64_t>& index) const {
+    PARTIR_CHECK(index.size() == dims_.size());
+    int64_t offset = 0;
+    int64_t stride = 1;
+    for (int i = static_cast<int>(dims_.size()) - 1; i >= 0; --i) {
+      PARTIR_CHECK(index[i] >= 0 && index[i] < dims_[i]) << "index OOB";
+      offset += index[i] * stride;
+      stride *= dims_[i];
+    }
+    return offset;
+  }
+
+  float Get(const std::vector<int64_t>& index) const {
+    return data_[Offset(index)];
+  }
+  void Set(const std::vector<int64_t>& index, float value) {
+    data_[Offset(index)] = value;
+  }
+
+  /** Extracts the `chunk`-th of `count` equal contiguous chunks on `dim`. */
+  Tensor SliceChunk(int64_t dim, int64_t chunk, int64_t count) const;
+
+  /** Concatenates tensors along `dim`. */
+  static Tensor Concat(const std::vector<Tensor>& parts, int64_t dim);
+
+  /** Elementwise binary combine (shapes must match). */
+  static Tensor Combine(const Tensor& a, const Tensor& b,
+                        const std::function<float(float, float)>& fn);
+
+  /** Returns a filled tensor of random values in [-0.5, 0.5] (seeded). */
+  static Tensor Random(std::vector<int64_t> dims, uint64_t seed);
+
+  /** Max |a-b| over all elements. */
+  static float MaxAbsDiff(const Tensor& a, const Tensor& b);
+
+ private:
+  std::vector<int64_t> dims_;
+  std::vector<float> data_;
+};
+
+/** Iterates all multi-indices of a shape, calling fn on each. */
+void ForEachIndex(const std::vector<int64_t>& dims,
+                  const std::function<void(const std::vector<int64_t>&)>& fn);
+
+}  // namespace partir
+
+#endif  // PARTIR_INTERP_TENSOR_H_

@@ -1,0 +1,77 @@
+#include "src/ir/ir.h"
+
+#include <algorithm>
+
+namespace partir {
+
+Region::Region() : block_(std::make_unique<Block>()) {}
+Region::~Region() = default;
+
+Operation::Operation(OpKind kind, std::vector<Value*> operands,
+                     std::vector<Type> result_types)
+    : kind_(kind), operands_(std::move(operands)) {
+  results_.reserve(result_types.size());
+  for (size_t i = 0; i < result_types.size(); ++i) {
+    auto value = std::make_unique<Value>(std::move(result_types[i]), "");
+    value->def_ = this;
+    value->result_index_ = static_cast<int>(i);
+    results_.push_back(std::move(value));
+  }
+}
+
+Operation::~Operation() = default;
+
+Region& Operation::AddRegion() {
+  regions_.push_back(std::make_unique<Region>());
+  return *regions_.back();
+}
+
+Value* Block::AddArg(Type type, std::string name) {
+  auto value = std::make_unique<Value>(std::move(type), std::move(name));
+  value->owner_block_ = this;
+  value->arg_index_ = static_cast<int>(args_.size());
+  args_.push_back(std::move(value));
+  return args_.back().get();
+}
+
+Operation* Block::Append(std::unique_ptr<Operation> op) {
+  op->parent_ = this;
+  ops_.push_back(std::move(op));
+  return ops_.back().get();
+}
+
+void Block::EraseIf(const std::function<bool(const Operation&)>& predicate) {
+  ops_.erase(std::remove_if(ops_.begin(), ops_.end(),
+                            [&](const std::unique_ptr<Operation>& op) {
+                              return predicate(*op);
+                            }),
+             ops_.end());
+}
+
+void WalkOps(const Block& block,
+             const std::function<void(const Operation&)>& visit) {
+  for (const auto& op : block.ops()) {
+    const Operation& const_op = *op;
+    visit(const_op);
+    for (int r = 0; r < const_op.num_regions(); ++r) {
+      WalkOps(const_op.region(r).block(), visit);
+    }
+  }
+}
+
+void WalkOps(Block& block, const std::function<void(Operation&)>& visit) {
+  for (const auto& op : block.ops()) {
+    visit(*op);
+    for (int r = 0; r < op->num_regions(); ++r) {
+      WalkOps(op->region(r).block(), visit);
+    }
+  }
+}
+
+int64_t CountOps(const Func& func) {
+  int64_t count = 0;
+  WalkOps(func.body(), [&](const Operation&) { ++count; });
+  return count;
+}
+
+}  // namespace partir

@@ -1,0 +1,151 @@
+#include "src/ir/printer.h"
+
+#include <map>
+#include <sstream>
+
+#include "src/support/str_util.h"
+
+namespace partir {
+namespace {
+
+class PrinterState {
+ public:
+  std::string NameOf(const Value* value) {
+    auto it = names_.find(value);
+    if (it != names_.end()) return it->second;
+    std::string name = value->name().empty()
+                           ? StrCat("%", next_id_++)
+                           : StrCat("%", value->name());
+    names_[value] = name;
+    return name;
+  }
+
+ private:
+  std::map<const Value*, std::string> names_;
+  int next_id_ = 0;
+};
+
+std::string AttrToString(const Attr& attr) {
+  struct Visitor {
+    std::string operator()(int64_t v) const { return StrCat(v); }
+    std::string operator()(double v) const { return StrCat(v); }
+    std::string operator()(const std::string& v) const {
+      return StrCat("\"", v, "\"");
+    }
+    std::string operator()(const std::vector<int64_t>& v) const {
+      return StrCat("[", StrJoin(v, ","), "]");
+    }
+    std::string operator()(const std::vector<std::string>& v) const {
+      return StrCat("[", StrJoin(v, ",", [](const std::string& s) {
+                      return StrCat("\"", s, "\"");
+                    }),
+                    "]");
+    }
+    std::string operator()(const AxesPerDim& v) const {
+      return StrCat("[", StrJoin(v, ",", [](const std::vector<std::string>& a) {
+                      return StrCat("{", StrJoin(a, ","), "}");
+                    }),
+                    "]");
+    }
+    std::string operator()(const std::vector<float>& v) const {
+      if (v.size() > 8) return StrCat("<", v.size(), " floats>");
+      return StrCat("[", StrJoin(v, ","), "]");
+    }
+  };
+  return std::visit(Visitor{}, attr);
+}
+
+void PrintBlock(const Block& block, PrinterState& state, int indent,
+                std::ostringstream& os);
+
+void PrintOp(const Operation& op, PrinterState& state, int indent,
+             std::ostringstream& os) {
+  std::string pad(indent, ' ');
+  os << pad;
+  if (op.num_results() > 0) {
+    os << StrJoin(std::vector<int>(op.num_results(), 0), ", ",
+                  [&, i = 0](int) mutable {
+                    return state.NameOf(op.result(i++));
+                  })
+       << " = ";
+  }
+  os << OpKindName(op.kind());
+  if (!op.attrs().raw().empty()) {
+    os << " {";
+    bool first = true;
+    for (const auto& [name, attr] : op.attrs().raw()) {
+      if (!first) os << ", ";
+      os << name << " = " << AttrToString(attr);
+      first = false;
+    }
+    os << "}";
+  }
+  os << "(";
+  bool first = true;
+  for (const Value* operand : op.operands()) {
+    if (!first) os << ", ";
+    os << state.NameOf(operand);
+    first = false;
+  }
+  os << ")";
+  if (op.num_results() > 0) {
+    os << " : ";
+    for (int i = 0; i < op.num_results(); ++i) {
+      if (i > 0) os << ", ";
+      os << op.result(i)->type().ToString();
+    }
+  }
+  if (op.num_regions() > 0) {
+    os << " {\n";
+    for (int r = 0; r < op.num_regions(); ++r) {
+      PrintBlock(op.region(r).block(), state, indent + 2, os);
+    }
+    os << pad << "}";
+  }
+  os << "\n";
+}
+
+void PrintBlock(const Block& block, PrinterState& state, int indent,
+                std::ostringstream& os) {
+  if (block.num_args() > 0) {
+    os << std::string(indent, ' ') << "(";
+    for (int i = 0; i < block.num_args(); ++i) {
+      if (i > 0) os << ", ";
+      os << state.NameOf(block.arg(i)) << ": "
+         << block.arg(i)->type().ToString();
+    }
+    os << "):\n";
+  }
+  for (const auto& op : block.ops()) {
+    PrintOp(*op, state, indent, os);
+  }
+}
+
+}  // namespace
+
+std::string Print(const Func& func) {
+  std::ostringstream os;
+  PrinterState state;
+  os << "func @" << func.name() << "(";
+  for (int i = 0; i < func.body().num_args(); ++i) {
+    if (i > 0) os << ", ";
+    os << state.NameOf(func.body().arg(i)) << ": "
+       << func.body().arg(i)->type().ToString();
+  }
+  os << ") {\n";
+  for (const auto& op : func.body().ops()) {
+    PrintOp(*op, state, 2, os);
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string Print(const Module& module) {
+  std::ostringstream os;
+  for (const auto& func : module.funcs()) {
+    os << Print(*func);
+  }
+  return os.str();
+}
+
+}  // namespace partir

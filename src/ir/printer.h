@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Textual printer for modules, in an MLIR-flavoured syntax matching the
+ * listings in the paper (e.g. `%x1 = matmul(%x, %w1) : tensor<256x16xf32>`).
+ */
+#ifndef PARTIR_IR_PRINTER_H_
+#define PARTIR_IR_PRINTER_H_
+
+#include <string>
+
+#include "src/ir/ir.h"
+
+namespace partir {
+
+/** Prints a whole module. */
+std::string Print(const Module& module);
+
+/** Prints one function. */
+std::string Print(const Func& func);
+
+}  // namespace partir
+
+#endif  // PARTIR_IR_PRINTER_H_

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Type system for the array IR: element dtypes, static tensor shapes, and
+ * PartIR's range type (loop indices, Section 5.1 of the paper).
+ */
+#ifndef PARTIR_IR_TYPE_H_
+#define PARTIR_IR_TYPE_H_
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "src/support/check.h"
+#include "src/support/str_util.h"
+
+namespace partir {
+
+/** Element type of a tensor. */
+enum class DType {
+  kF32,
+  kBF16,
+  kS32,
+  kPred,
+};
+
+/** Returns the byte width of a dtype. */
+inline int64_t ByteWidth(DType dtype) {
+  switch (dtype) {
+    case DType::kF32: return 4;
+    case DType::kBF16: return 2;
+    case DType::kS32: return 4;
+    case DType::kPred: return 1;
+  }
+  PARTIR_UNREACHABLE("bad dtype");
+}
+
+/** Returns the textual name of a dtype (printer syntax). */
+inline const char* DTypeName(DType dtype) {
+  switch (dtype) {
+    case DType::kF32: return "f32";
+    case DType::kBF16: return "bf16";
+    case DType::kS32: return "s32";
+    case DType::kPred: return "pred";
+  }
+  PARTIR_UNREACHABLE("bad dtype");
+}
+
+/**
+ * A statically-shaped tensor type, e.g. tensor<256x8xf32>.
+ *
+ * Rank-0 (scalar) tensors have an empty dims vector.
+ */
+class TensorType {
+ public:
+  TensorType() : dtype_(DType::kF32) {}
+  TensorType(std::vector<int64_t> dims, DType dtype = DType::kF32)
+      : dims_(std::move(dims)), dtype_(dtype) {
+    for (int64_t d : dims_) PARTIR_CHECK(d >= 0) << "negative dim";
+  }
+
+  const std::vector<int64_t>& dims() const { return dims_; }
+  int64_t dim(int i) const { return dims_.at(i); }
+  int rank() const { return static_cast<int>(dims_.size()); }
+  DType dtype() const { return dtype_; }
+
+  /** Total number of elements. */
+  int64_t NumElements() const {
+    return std::accumulate(dims_.begin(), dims_.end(), int64_t{1},
+                           std::multiplies<int64_t>());
+  }
+
+  /** Total size in bytes. */
+  int64_t ByteSize() const { return NumElements() * ByteWidth(dtype_); }
+
+  bool operator==(const TensorType& other) const {
+    return dims_ == other.dims_ && dtype_ == other.dtype_;
+  }
+  bool operator!=(const TensorType& other) const { return !(*this == other); }
+
+  /** Printer syntax, e.g. "tensor<256x8xf32>". */
+  std::string ToString() const {
+    std::string dims_str;
+    for (int64_t d : dims_) dims_str += StrCat(d, "x");
+    return StrCat("tensor<", dims_str, DTypeName(dtype_), ">");
+  }
+
+ private:
+  std::vector<int64_t> dims_;
+  DType dtype_;
+};
+
+/**
+ * The type of a PartIR loop index: range<n> ranges over {0, ..., n-1} along a
+ * named mesh axis.
+ */
+class RangeType {
+ public:
+  RangeType() : size_(0) {}
+  RangeType(int64_t size, std::string axis)
+      : size_(size), axis_(std::move(axis)) {}
+
+  int64_t size() const { return size_; }
+  const std::string& axis() const { return axis_; }
+
+  bool operator==(const RangeType& other) const {
+    return size_ == other.size_ && axis_ == other.axis_;
+  }
+
+  std::string ToString() const { return StrCat("range<", size_, ">"); }
+
+ private:
+  int64_t size_;
+  std::string axis_;
+};
+
+/** A value type: either a tensor or a loop-index range. */
+class Type {
+ public:
+  Type() : kind_(Kind::kTensor) {}
+  /* implicit */ Type(TensorType t) : kind_(Kind::kTensor), tensor_(std::move(t)) {}
+  /* implicit */ Type(RangeType r) : kind_(Kind::kRange), range_(std::move(r)) {}
+
+  enum class Kind { kTensor, kRange };
+
+  Kind kind() const { return kind_; }
+  bool IsTensor() const { return kind_ == Kind::kTensor; }
+  bool IsRange() const { return kind_ == Kind::kRange; }
+
+  const TensorType& tensor() const {
+    PARTIR_CHECK(IsTensor()) << "not a tensor type";
+    return tensor_;
+  }
+  const RangeType& range() const {
+    PARTIR_CHECK(IsRange()) << "not a range type";
+    return range_;
+  }
+
+  bool operator==(const Type& other) const {
+    if (kind_ != other.kind_) return false;
+    return IsTensor() ? tensor_ == other.tensor_ : range_ == other.range_;
+  }
+  bool operator!=(const Type& other) const { return !(*this == other); }
+
+  std::string ToString() const {
+    return IsTensor() ? tensor_.ToString() : range_.ToString();
+  }
+
+ private:
+  Kind kind_;
+  TensorType tensor_;
+  RangeType range_;
+};
+
+}  // namespace partir
+
+#endif  // PARTIR_IR_TYPE_H_

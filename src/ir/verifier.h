@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Module verifier: checks SSA dominance, operand/result shape agreement per
+ * op kind, region well-formedness and terminator presence. Each dialect's
+ * invariants are verified here so that passes can assume well-formed input.
+ */
+#ifndef PARTIR_IR_VERIFIER_H_
+#define PARTIR_IR_VERIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ir/ir.h"
+
+namespace partir {
+
+/** Verifies a module; returns a list of diagnostics (empty when valid). */
+std::vector<std::string> Verify(const Module& module);
+
+/** Verifies and aborts with diagnostics on failure (for tests/pipelines). */
+void VerifyOrDie(const Module& module);
+
+}  // namespace partir
+
+#endif  // PARTIR_IR_VERIFIER_H_

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Device meshes (Section 2.2): an n-dimensional logical view of the devices
+ * with named axes, e.g. {"B":4, "M":2}. Collectives and tiling actions refer
+ * to axis names; the mesh maps them to sizes and device coordinates.
+ */
+#ifndef PARTIR_MESH_MESH_H_
+#define PARTIR_MESH_MESH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/support/check.h"
+#include "src/support/str_util.h"
+
+namespace partir {
+
+/** One named mesh axis. */
+struct MeshAxis {
+  std::string name;
+  int64_t size;
+};
+
+/** An n-dimensional device mesh with named axes. */
+class Mesh {
+ public:
+  Mesh() = default;
+  explicit Mesh(std::vector<MeshAxis> axes) : axes_(std::move(axes)) {
+    for (const MeshAxis& axis : axes_) {
+      PARTIR_CHECK(axis.size >= 1) << "axis size must be positive";
+    }
+  }
+
+  const std::vector<MeshAxis>& axes() const { return axes_; }
+  int num_axes() const { return static_cast<int>(axes_.size()); }
+
+  bool HasAxis(const std::string& name) const {
+    for (const MeshAxis& axis : axes_) {
+      if (axis.name == name) return true;
+    }
+    return false;
+  }
+
+  int64_t AxisSize(const std::string& name) const {
+    for (const MeshAxis& axis : axes_) {
+      if (axis.name == name) return axis.size;
+    }
+    PARTIR_CHECK(false) << "unknown mesh axis '" << name << "'";
+    return -1;
+  }
+
+  int AxisIndex(const std::string& name) const {
+    for (int i = 0; i < num_axes(); ++i) {
+      if (axes_[i].name == name) return i;
+    }
+    PARTIR_CHECK(false) << "unknown mesh axis '" << name << "'";
+    return -1;
+  }
+
+  /** Total number of devices. */
+  int64_t NumDevices() const {
+    int64_t n = 1;
+    for (const MeshAxis& axis : axes_) n *= axis.size;
+    return n;
+  }
+
+  /** Mesh coordinates of a linear device id (row-major over axes). */
+  std::vector<int64_t> Coordinates(int64_t device_id) const {
+    std::vector<int64_t> coords(axes_.size());
+    for (int i = num_axes() - 1; i >= 0; --i) {
+      coords[i] = device_id % axes_[i].size;
+      device_id /= axes_[i].size;
+    }
+    return coords;
+  }
+
+  /** Linear device id of mesh coordinates. */
+  int64_t DeviceId(const std::vector<int64_t>& coords) const {
+    PARTIR_CHECK(coords.size() == axes_.size());
+    int64_t id = 0;
+    for (int i = 0; i < num_axes(); ++i) {
+      PARTIR_CHECK(coords[i] >= 0 && coords[i] < axes_[i].size);
+      id = id * axes_[i].size + coords[i];
+    }
+    return id;
+  }
+
+  std::string ToString() const {
+    return StrCat("{",
+                  StrJoin(axes_, ", ",
+                          [](const MeshAxis& a) {
+                            return StrCat(a.name, ":", a.size);
+                          }),
+                  "}");
+  }
+
+ private:
+  std::vector<MeshAxis> axes_;
+};
+
+}  // namespace partir
+
+#endif  // PARTIR_MESH_MESH_H_

@@ -1,0 +1,124 @@
+#include "src/models/gns.h"
+
+#include "src/ir/builder.h"
+
+namespace partir {
+namespace {
+
+struct Mlp {
+  std::vector<Value*> weights;
+  std::vector<Value*> biases;
+};
+
+Mlp AddMlpParams(Block& body, const std::string& prefix, int64_t in,
+                 int64_t hidden, int64_t out, int64_t layers) {
+  Mlp mlp;
+  for (int64_t layer = 0; layer < layers; ++layer) {
+    int64_t d_in = layer == 0 ? in : hidden;
+    int64_t d_out = layer == layers - 1 ? out : hidden;
+    mlp.weights.push_back(body.AddArg(TensorType({d_in, d_out}),
+                                      StrCat(prefix, "w", layer)));
+    mlp.biases.push_back(
+        body.AddArg(TensorType({d_out}), StrCat(prefix, "b", layer)));
+  }
+  return mlp;
+}
+
+Value* ApplyMlp(OpBuilder& builder, const Mlp& mlp, Value* x) {
+  for (size_t layer = 0; layer < mlp.weights.size(); ++layer) {
+    x = builder.MatMul(x, mlp.weights[layer]);
+    x = builder.Add(x, builder.BroadcastInDim(
+                           mlp.biases[layer], x->tensor_type().dims(), {1}));
+    if (layer + 1 < mlp.weights.size()) x = builder.Tanh(x);
+  }
+  return x;
+}
+
+}  // namespace
+
+Func* BuildGnsLoss(Module& module, const GnsConfig& config,
+                   const std::string& name) {
+  Func* func = module.AddFunc(name);
+  Block& body = func->body();
+  int64_t latent = config.latent;
+
+  Mlp node_encoder = AddMlpParams(body, "params.node_enc.",
+                                  config.node_features, latent, latent,
+                                  config.mlp_layers);
+  Mlp edge_encoder = AddMlpParams(body, "params.edge_enc.",
+                                  config.edge_features, latent, latent,
+                                  config.mlp_layers);
+  std::vector<Mlp> edge_mlps, node_mlps;
+  for (int64_t step = 0; step < config.message_steps; ++step) {
+    // Edge update sees [edge, sender, receiver] latents concatenated.
+    edge_mlps.push_back(AddMlpParams(body,
+                                     StrCat("params.step", step, ".edge."),
+                                     3 * latent, latent, latent,
+                                     config.mlp_layers));
+    // Node update sees [node, aggregated messages].
+    node_mlps.push_back(AddMlpParams(body,
+                                     StrCat("params.step", step, ".node."),
+                                     2 * latent, latent, latent,
+                                     config.mlp_layers));
+  }
+  Mlp decoder = AddMlpParams(body, "params.decoder.", latent, latent, latent,
+                             config.mlp_layers);
+  Value* global_w =
+      body.AddArg(TensorType({latent, 1}), "params.global_w");
+  Value* global_b = body.AddArg(TensorType({1}), "params.global_b");
+
+  Value* nodes_in = body.AddArg(
+      TensorType({config.num_nodes, config.node_features}), "nodes");
+  Value* edges_in = body.AddArg(
+      TensorType({config.num_edges, config.edge_features}), "edges");
+  Value* senders = body.AddArg(
+      TensorType({config.num_edges}, DType::kS32), "senders");
+  Value* receivers = body.AddArg(
+      TensorType({config.num_edges}, DType::kS32), "receivers");
+  Value* label = body.AddArg(TensorType(std::vector<int64_t>{}), "label");
+
+  OpBuilder builder(&body);
+  Value* nodes = ApplyMlp(builder, node_encoder, nodes_in);
+  Value* edges = ApplyMlp(builder, edge_encoder, edges_in);
+
+  for (int64_t step = 0; step < config.message_steps; ++step) {
+    Value* sender_feats = builder.Gather(nodes, senders);
+    Value* receiver_feats = builder.Gather(nodes, receivers);
+    Value* edge_input =
+        builder.Concatenate({edges, sender_feats, receiver_feats}, 1);
+    Value* new_edges = ApplyMlp(builder, edge_mlps[step], edge_input);
+    edges = builder.Add(edges, new_edges);  // residual
+
+    Value* aggregated =
+        builder.ScatterAdd(receivers, edges, config.num_nodes);
+    Value* node_input = builder.Concatenate({nodes, aggregated}, 1);
+    Value* new_nodes = ApplyMlp(builder, node_mlps[step], node_input);
+    nodes = builder.Add(nodes, new_nodes);  // residual
+  }
+
+  Value* decoded = ApplyMlp(builder, decoder, nodes);
+  // Global readout: mean over nodes, then a linear head.
+  Value* pooled = builder.MulScalar(
+      builder.Reduce(decoded, {0}, "sum"),
+      1.0 / static_cast<double>(config.num_nodes));   // [latent]
+  Value* pooled_row = builder.BroadcastInDim(pooled, {1, latent}, {1});
+  Value* prediction = builder.MatMul(pooled_row, global_w);  // [1,1]
+  prediction = builder.Add(
+      prediction,
+      builder.BroadcastInDim(global_b, {1, 1}, {1}));
+  Value* scalar = builder.Reduce(prediction, {0, 1}, "sum");
+  Value* err = builder.Sub(scalar, label);
+  Value* loss = builder.Mul(err, err);
+  builder.Return({loss});
+  return func;
+}
+
+Func* BuildGnsTrainingStep(Module& module, const GnsConfig& config,
+                           const std::string& name) {
+  Module scratch;
+  Func* loss_fn = BuildGnsLoss(scratch, config, "loss");
+  return BuildTrainingStep(*loss_fn, module, name,
+                           static_cast<int>(config.NumParams()));
+}
+
+}  // namespace partir

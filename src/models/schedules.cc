@@ -1,0 +1,92 @@
+#include "src/models/schedules.h"
+
+namespace partir {
+namespace schedules {
+
+ManualPartition TransformerBP(const std::string& axis) {
+  return ManualPartition{"BP", {{"tokens", 0}, {"targets", 0}}, axis};
+}
+
+ManualPartition TransformerMP(const std::string& axis) {
+  return ManualPartition{"MP",
+                         {{"wq", 1},
+                          {"wk", 1},
+                          {"wv", 1},
+                          {"wo", 0},
+                          {"w_up", 1},
+                          {"w_gate", 1},
+                          {"w_down", 0}},
+                         axis};
+}
+
+ManualPartition TransformerZ2(const std::string& axis) {
+  // Order matters: parameters are marked REPLICATED first so the
+  // per-tensor keys below shard only the optimizer moments.
+  return ManualPartition{"Z2",
+                         {{"params.", kReplicated},
+                          {"wq", kFirstDivisibleDim},
+                          {"wk", kFirstDivisibleDim},
+                          {"wv", kFirstDivisibleDim},
+                          {"wo", kFirstDivisibleDim},
+                          {"emb", kFirstDivisibleDim}},
+                         axis};
+}
+
+ManualPartition TransformerZ3(const std::string& axis) {
+  return ManualPartition{"Z3",
+                         {{"wq", kFirstDivisibleDim},
+                          {"wk", kFirstDivisibleDim},
+                          {"wv", kFirstDivisibleDim},
+                          {"wo", kFirstDivisibleDim},
+                          {"emb", kFirstDivisibleDim}},
+                         axis};
+}
+
+ManualPartition TransformerEMB(const std::string& axis) {
+  return ManualPartition{"EMB", {{"params.emb", 1}}, axis};
+}
+
+ManualPartition TransformerMQ(const std::string& axis) {
+  // Tile the barrier tags around decode attention: queries move to the
+  // batch dim (0), attention outputs back to the head dim (2).
+  return ManualPartition{"MQ", {{".q", 0}, {".attn", 2}}, axis};
+}
+
+ManualPartition UNetBP(const std::string& axis) {
+  return ManualPartition{"BP", {{"image", 0}, {"noise_target", 0}}, axis};
+}
+
+ManualPartition UNetMP(const std::string& axis) {
+  return ManualPartition{"MP",
+                         {{"attn.wq", 1},
+                          {"attn.wk", 1},
+                          {"attn.wv", 1},
+                          {"attn.wo", 0},
+                          {"conv1_w", 3},
+                          {"conv2_w", 2}},
+                         axis};
+}
+
+ManualPartition UNetZ2(const std::string& axis) {
+  return ManualPartition{"Z2",
+                         {{"params.", kReplicated},
+                          {"opt_m.", kFirstDivisibleDim},
+                          {"opt_v.", kFirstDivisibleDim}},
+                         axis};
+}
+
+ManualPartition UNetZ3(const std::string& axis) {
+  return ManualPartition{"Z3",
+                         {{"params.", kFirstDivisibleDim},
+                          {"opt_m.", kFirstDivisibleDim},
+                          {"opt_v.", kFirstDivisibleDim}},
+                         axis};
+}
+
+ManualPartition GnsES(const std::string& axis) {
+  return ManualPartition{
+      "ES", {{"edges", 0}, {"senders", 0}, {"receivers", 0}}, axis};
+}
+
+}  // namespace schedules
+}  // namespace partir

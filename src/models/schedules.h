@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The partitioning tactics of Appendix A.4, expressed against the model
+ * zoo's parameter names. A schedule is a list of these tactics (Table 1);
+ * e.g. BP+MP+Z3 for a transformer is
+ *   {TransformerBP(), TransformerMP(), TransformerZ3()}.
+ */
+#ifndef PARTIR_MODELS_SCHEDULES_H_
+#define PARTIR_MODELS_SCHEDULES_H_
+
+#include "src/schedule/schedule.h"
+
+namespace partir {
+namespace schedules {
+
+// ---- Transformer (T32 / T48 / IT32) ----
+
+/** Batch parallelism: shard the data batch. */
+ManualPartition TransformerBP(const std::string& axis = "batch");
+
+/** Megatron model parallelism: shard attention heads and MLP hidden. */
+ManualPartition TransformerMP(const std::string& axis = "model");
+
+/** ZeRO-2: replicate parameters, shard optimizer state of the attention
+ *  projections and the embedding ("four parameter tensors per layer plus
+ *  embeddings", Section 7.3). */
+ManualPartition TransformerZ2(const std::string& axis = "batch");
+
+/** ZeRO-3 / FSDP: additionally shard those parameters themselves. */
+ManualPartition TransformerZ3(const std::string& axis = "batch");
+
+/** Embedding sharding: partition the table's d_model dim (activations). */
+ManualPartition TransformerEMB(const std::string& axis = "model");
+
+/** Multi-query attention sharding (IT32; Pope et al.): re-lays-out the
+ *  decode attention between head- and batch-sharded via barrier tags. */
+ManualPartition TransformerMQ(const std::string& axis = "model");
+
+// ---- U-Net ----
+
+ManualPartition UNetBP(const std::string& axis = "batch");
+/** Megatron-style channel sharding of conv pairs + spatial attention. */
+ManualPartition UNetMP(const std::string& axis = "model");
+ManualPartition UNetZ2(const std::string& axis = "batch");
+ManualPartition UNetZ3(const std::string& axis = "batch");
+
+// ---- GNS ----
+
+/** Edge Sharding: partition edge arrays; nodes replicate (Section 7.3). */
+ManualPartition GnsES(const std::string& axis = "batch");
+
+}  // namespace schedules
+}  // namespace partir
+
+#endif  // PARTIR_MODELS_SCHEDULES_H_

@@ -1,0 +1,291 @@
+#include "src/models/transformer.h"
+
+#include <cmath>
+
+#include "src/ir/builder.h"
+
+namespace partir {
+namespace {
+
+/** Causal mask data: 0 on/below the diagonal, -1e9 above. */
+std::vector<float> CausalMaskData(int64_t q_len, int64_t k_len) {
+  std::vector<float> data(q_len * k_len, 0.0f);
+  // Query position i may attend to key positions <= i + (k_len - q_len).
+  int64_t offset = k_len - q_len;
+  for (int64_t i = 0; i < q_len; ++i) {
+    for (int64_t j = 0; j < k_len; ++j) {
+      if (j > i + offset) data[i * k_len + j] = -1e9f;
+    }
+  }
+  return data;
+}
+
+/** Parameter-free RMS normalization over the last dim. */
+Value* FinalNorm(OpBuilder& builder, Value* x) {
+  const TensorType& type = x->tensor_type();
+  int64_t last = type.rank() - 1;
+  Value* sq = builder.Mul(x, x);
+  Value* mean = builder.MulScalar(
+      builder.Reduce(sq, {last}, "sum"),
+      1.0 / static_cast<double>(type.dim(last)));
+  Value* inv = builder.Rsqrt(builder.AddScalar(mean, 1e-6));
+  std::vector<int64_t> bcast;
+  for (int64_t d = 0; d < last; ++d) bcast.push_back(d);
+  return builder.Mul(x, builder.BroadcastInDim(inv, type.dims(), bcast));
+}
+
+struct BlockParams {
+  Value* ln1;
+  Value* wq;
+  Value* wk;
+  Value* wv;
+  Value* wo;
+  Value* ln2;
+  Value* w_up;
+  Value* w_gate;
+  Value* w_down;
+};
+
+/** Adds the 9 parameter tensors of one block as function arguments. */
+BlockParams AddBlockParams(Block& body, const TransformerConfig& config,
+                           int64_t layer) {
+  int64_t d = config.d_model;
+  int64_t h = config.num_heads;
+  int64_t dh = config.head_dim;
+  int64_t f = config.ffw_size;
+  std::string prefix = StrCat("params.block", layer, ".");
+  BlockParams params;
+  params.ln1 = body.AddArg(TensorType({d}), prefix + "ln1");
+  params.wq = body.AddArg(TensorType({d, h, dh}), prefix + "wq");
+  if (config.multi_query) {
+    params.wk = body.AddArg(TensorType({d, dh}), prefix + "wk");
+    params.wv = body.AddArg(TensorType({d, dh}), prefix + "wv");
+  } else {
+    params.wk = body.AddArg(TensorType({d, h, dh}), prefix + "wk");
+    params.wv = body.AddArg(TensorType({d, h, dh}), prefix + "wv");
+  }
+  params.wo = body.AddArg(TensorType({h, dh, d}), prefix + "wo");
+  params.ln2 = body.AddArg(TensorType({d}), prefix + "ln2");
+  params.w_up = body.AddArg(TensorType({d, f}), prefix + "w_up");
+  params.w_gate = body.AddArg(TensorType({d, f}), prefix + "w_gate");
+  params.w_down = body.AddArg(TensorType({f, d}), prefix + "w_down");
+  return params;
+}
+
+/**
+ * One attention call: q from `x_q` [B,Q,D]; keys/values from explicitly
+ * provided K/V tensors (full-sequence attention passes the block's own
+ * k/v; decoding passes concatenated caches). Returns [B,Q,D].
+ */
+Value* Attention(OpBuilder& builder, const TransformerConfig& config,
+                 Value* q,    // [B,Q,H,dh]
+                 Value* k,    // [B,K,H,dh] or [B,K,dh] (multi-query)
+                 Value* v,    // same layout as k
+                 Value* wo,   // [H,dh,D]
+                 bool causal,
+                 const std::string& barrier_prefix = "") {
+  // Multi-query sharding re-lays-out activations between the head-sharded
+  // projections and batch-sharded attention; the boundary is expressed
+  // with barrier tags that the MQ tactic tiles (Section 3 barriers).
+  if (!barrier_prefix.empty()) {
+    q = builder.Tag(q, barrier_prefix + "q", /*barrier=*/true);
+  }
+  int64_t q_len = q->tensor_type().dim(1);
+  int64_t k_len = k->tensor_type().dim(1);
+  double scale = 1.0 / std::sqrt(static_cast<double>(config.head_dim));
+  Value* logits;
+  if (config.multi_query) {
+    // q [B,Q,H,dh] x k [B,K,dh] -> [B,Q,H,K].
+    logits = builder.Dot(q, k, {3}, {2}, {0}, {0});
+  } else {
+    // q [B,Q,H,dh] x k [B,K,H,dh] -> [B,H,Q,K].
+    logits = builder.Dot(q, k, {3}, {3}, {0, 2}, {0, 2});
+  }
+  logits = builder.MulScalar(logits, scale);
+  if (causal) {
+    Value* mask =
+        builder.ConstantData(CausalMaskData(q_len, k_len), {q_len, k_len});
+    std::vector<int64_t> bcast = config.multi_query
+                                     ? std::vector<int64_t>{1, 3}
+                                     : std::vector<int64_t>{2, 3};
+    logits = builder.Add(
+        logits,
+        builder.BroadcastInDim(mask, logits->tensor_type().dims(), bcast));
+  }
+  Value* probs = builder.Softmax(logits);
+  Value* attn;
+  if (config.multi_query) {
+    // probs [B,Q,H,K] x v [B,K,dh] -> [B,Q,H,dh].
+    attn = builder.Dot(probs, v, {3}, {1}, {0}, {0});
+  } else {
+    // probs [B,H,Q,K] x v [B,K,H,dh] -> [B,H,Q,dh] -> transpose later? No:
+    // result = batch [B,H], lhs free Q, rhs free dh -> [B,H,Q,dh].
+    attn = builder.Dot(probs, v, {3}, {1}, {0, 1}, {0, 2});
+  }
+  if (!barrier_prefix.empty()) {
+    attn = builder.Tag(attn, barrier_prefix + "attn", /*barrier=*/true);
+  }
+  // Output projection back to d_model.
+  if (config.multi_query) {
+    // attn [B,Q,H,dh] x wo [H,dh,D] -> [B,Q,D].
+    return builder.Dot(attn, wo, {2, 3}, {0, 1});
+  }
+  // attn [B,H,Q,dh] x wo [H,dh,D]: contract H(1) & dh(3) -> [B,Q,D].
+  return builder.Dot(attn, wo, {1, 3}, {0, 1});
+}
+
+/** One transformer block applied to x [B,S,D] with full self-attention. */
+Value* BlockForward(OpBuilder& builder, const TransformerConfig& config,
+                    const BlockParams& params, Value* x) {
+  Value* h = builder.RmsNorm(x, params.ln1);
+  // Projections with explicit head dims (no reshape).
+  Value* q = builder.Dot(h, params.wq, {2}, {0});
+  Value* k = builder.Dot(h, params.wk, {2}, {0});
+  Value* v = builder.Dot(h, params.wv, {2}, {0});
+  Value* attn_out =
+      Attention(builder, config, q, k, v, params.wo, /*causal=*/true);
+  x = builder.Add(x, attn_out);
+
+  Value* h2 = builder.RmsNorm(x, params.ln2);
+  Value* up = builder.Dot(h2, params.w_up, {2}, {0});
+  Value* gate = builder.Dot(h2, params.w_gate, {2}, {0});
+  Value* silu = builder.Mul(gate, builder.Logistic(gate));
+  Value* act = builder.Mul(up, silu);
+  Value* down = builder.Dot(act, params.w_down, {2}, {0});
+  return builder.Add(x, down);
+}
+
+}  // namespace
+
+Func* BuildTransformerLoss(Module& module, const TransformerConfig& config,
+                           const std::string& name) {
+  PARTIR_CHECK(!config.multi_query)
+      << "training models use full multi-head attention";
+  Func* func = module.AddFunc(name);
+  Block& body = func->body();
+
+  Value* emb = body.AddArg(TensorType({config.vocab, config.d_model}),
+                           "params.emb");
+  std::vector<BlockParams> blocks;
+  for (int64_t layer = 0; layer < config.num_layers; ++layer) {
+    blocks.push_back(AddBlockParams(body, config, layer));
+  }
+  Value* tokens = body.AddArg(
+      TensorType({config.batch, config.seq}, DType::kS32), "tokens");
+  Value* targets = body.AddArg(
+      TensorType({config.batch, config.seq, config.vocab}), "targets");
+
+  OpBuilder builder(&body);
+  Value* x = builder.Gather(emb, tokens);  // [B,S,D]
+  for (const BlockParams& params : blocks) {
+    x = BlockForward(builder, config, params, x);
+  }
+  x = FinalNorm(builder, x);
+  // Tied unembedding: logits [B,S,V].
+  Value* logits = builder.Dot(x, emb, {2}, {1});
+
+  // Cross-entropy with one-hot targets: mean(logsumexp - picked).
+  Value* max = builder.Reduce(logits, {2}, "max");
+  Value* centered = builder.Sub(
+      logits,
+      builder.BroadcastInDim(max, logits->tensor_type().dims(), {0, 1}));
+  Value* sumexp = builder.Reduce(builder.Exp(centered), {2}, "sum");
+  Value* lse = builder.Add(builder.Log(sumexp), max);  // [B,S]
+  Value* picked = builder.Reduce(builder.Mul(logits, targets), {2}, "sum");
+  Value* loss = builder.Mean(builder.Sub(lse, picked), {0, 1});
+  builder.Return({loss});
+  return func;
+}
+
+Func* BuildTransformerTrainingStep(Module& module,
+                                   const TransformerConfig& config,
+                                   const std::string& name) {
+  Module scratch;
+  Func* loss_fn = BuildTransformerLoss(scratch, config, "loss");
+  return BuildTrainingStep(*loss_fn, module, name,
+                           static_cast<int>(config.NumParams()));
+}
+
+Func* BuildTransformerInference(Module& module,
+                                const TransformerConfig& config,
+                                int64_t decode_steps,
+                                const std::string& name) {
+  Func* func = module.AddFunc(name);
+  Block& body = func->body();
+
+  Value* emb = body.AddArg(TensorType({config.vocab, config.d_model}),
+                           "params.emb");
+  std::vector<BlockParams> blocks;
+  for (int64_t layer = 0; layer < config.num_layers; ++layer) {
+    blocks.push_back(AddBlockParams(body, config, layer));
+  }
+  Value* prompt = body.AddArg(
+      TensorType({config.batch, config.seq}, DType::kS32), "tokens");
+  Value* decode_tokens = body.AddArg(
+      TensorType({config.batch, decode_steps}, DType::kS32),
+      "decode_tokens");
+
+  OpBuilder builder(&body);
+
+  // ---- Prefill: full-sequence pass, collecting KV caches per layer. ----
+  Value* x = builder.Gather(emb, prompt);
+  std::vector<Value*> k_cache(config.num_layers), v_cache(config.num_layers);
+  for (int64_t layer = 0; layer < config.num_layers; ++layer) {
+    const BlockParams& params = blocks[layer];
+    Value* h = builder.RmsNorm(x, params.ln1);
+    Value* q = builder.Dot(h, params.wq, {2}, {0});
+    Value* k = builder.Dot(h, params.wk, {2}, {0});
+    Value* v = builder.Dot(h, params.wv, {2}, {0});
+    k_cache[layer] = k;
+    v_cache[layer] = v;
+    Value* attn =
+        Attention(builder, config, q, k, v, params.wo, /*causal=*/true);
+    x = builder.Add(x, attn);
+    Value* h2 = builder.RmsNorm(x, params.ln2);
+    Value* up = builder.Dot(h2, params.w_up, {2}, {0});
+    Value* gate = builder.Dot(h2, params.w_gate, {2}, {0});
+    Value* act = builder.Mul(up, builder.Mul(gate, builder.Logistic(gate)));
+    x = builder.Add(x, builder.Dot(act, params.w_down, {2}, {0}));
+  }
+
+  // ---- Decode loop (teacher-forced token stream, KV-cache appends). ----
+  // Every step's logits are returned (concatenated), as a serving loop
+  // would emit them — including the prefill's (which produce the first
+  // generated token); this keeps each position's computation live.
+  std::vector<Value*> all_logits;
+  all_logits.push_back(
+      builder.Dot(FinalNorm(builder, x), emb, {2}, {1}));  // [B,S,V]
+  for (int64_t step = 0; step < decode_steps; ++step) {
+    Value* token = builder.StaticSlice(
+        decode_tokens, {0, step}, {config.batch, step + 1});  // [B,1]
+    Value* xt = builder.Gather(emb, token);                   // [B,1,D]
+    for (int64_t layer = 0; layer < config.num_layers; ++layer) {
+      const BlockParams& params = blocks[layer];
+      Value* h = builder.RmsNorm(xt, params.ln1);
+      Value* q = builder.Dot(h, params.wq, {2}, {0});
+      Value* k_new = builder.Dot(h, params.wk, {2}, {0});
+      Value* v_new = builder.Dot(h, params.wv, {2}, {0});
+      k_cache[layer] = builder.Concatenate({k_cache[layer], k_new}, 1);
+      v_cache[layer] = builder.Concatenate({v_cache[layer], v_new}, 1);
+      std::string barrier_prefix =
+          config.multi_query ? StrCat("mq.l", layer, ".s", step, ".") : "";
+      Value* attn =
+          Attention(builder, config, q, k_cache[layer], v_cache[layer],
+                    params.wo, /*causal=*/false, barrier_prefix);
+      xt = builder.Add(xt, attn);
+      Value* h2 = builder.RmsNorm(xt, params.ln2);
+      Value* up = builder.Dot(h2, params.w_up, {2}, {0});
+      Value* gate = builder.Dot(h2, params.w_gate, {2}, {0});
+      Value* act =
+          builder.Mul(up, builder.Mul(gate, builder.Logistic(gate)));
+      xt = builder.Add(xt, builder.Dot(act, params.w_down, {2}, {0}));
+    }
+    xt = FinalNorm(builder, xt);
+    all_logits.push_back(builder.Dot(xt, emb, {2}, {1}));  // [B,1,V]
+  }
+  Value* logits = builder.Concatenate(all_logits, 1);  // [B, S+steps, V]
+  builder.Return({logits});
+  return func;
+}
+
+}  // namespace partir

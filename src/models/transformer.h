@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Chinchilla-style decoder-only Transformer (the paper's T32/T48/IT32
+ * benchmarks, Section 7.1), built directly as array IR.
+ *
+ * Parameter structure matches the paper's count: 9 tensors per block
+ * (two RMSNorm scales; wq/wk/wv/wo attention projections; SwiGLU
+ * w_up/w_gate/w_down) plus one tied embedding table -> 9L+1 parameters
+ * (289 for T32's 32 layers). Attention is expressed with explicit head
+ * dims through dot_general (no reshapes), so Megatron sharding propagates
+ * exactly as in Section 2.4.
+ */
+#ifndef PARTIR_MODELS_TRANSFORMER_H_
+#define PARTIR_MODELS_TRANSFORMER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/autodiff/grad.h"
+#include "src/ir/ir.h"
+
+namespace partir {
+
+/** Transformer hyper-parameters. */
+struct TransformerConfig {
+  int64_t num_layers = 2;
+  int64_t d_model = 64;
+  int64_t num_heads = 4;
+  int64_t head_dim = 16;
+  int64_t ffw_size = 128;   // SwiGLU hidden size
+  int64_t vocab = 128;
+  int64_t batch = 8;
+  int64_t seq = 8;
+  bool multi_query = false;  // single shared K/V head (IT32's MQ variant)
+
+  /** The paper's T32: 32 layers, 32 heads, batch 48 (scaled d_model). */
+  static TransformerConfig T32Scaled() {
+    TransformerConfig config;
+    config.num_layers = 32;
+    config.d_model = 256;
+    config.num_heads = 32;
+    config.head_dim = 8;
+    config.ffw_size = 512;
+    config.vocab = 512;
+    config.batch = 48;
+    config.seq = 32;
+    return config;
+  }
+
+  /** The paper's T48: 48 layers, 64 heads, batch 64 (scaled d_model). */
+  static TransformerConfig T48Scaled() {
+    TransformerConfig config;
+    config.num_layers = 48;
+    config.d_model = 512;
+    config.num_heads = 64;
+    config.head_dim = 8;
+    config.ffw_size = 1024;
+    config.vocab = 512;
+    config.batch = 64;
+    config.seq = 32;
+    return config;
+  }
+
+  /** Number of parameter tensors: 9 per block + tied embedding. */
+  int64_t NumParams() const { return 9 * num_layers + 1; }
+};
+
+/**
+ * Builds the training loss function:
+ *   args  = [params.emb, params.block{i}.{ln1,wq,wk,wv,wo,ln2,w_up,w_gate,
+ *            w_down}..., tokens, targets]
+ *   result = scalar cross-entropy loss.
+ * `tokens` is s32 [batch, seq]; `targets` a one-hot f32 [batch, seq, vocab].
+ */
+Func* BuildTransformerLoss(Module& module, const TransformerConfig& config,
+                           const std::string& name = "transformer_loss");
+
+/**
+ * Builds the full training step (loss + grads + Adam; see
+ * BuildTrainingStep): the program whose partitioning Table 3 counts.
+ */
+Func* BuildTransformerTrainingStep(
+    Module& module, const TransformerConfig& config,
+    const std::string& name = "transformer_step");
+
+/**
+ * Builds an inference/decoding program (the IT32 benchmark): a prompt of
+ * `config.seq` tokens is encoded, then `decode_steps` tokens are generated
+ * autoregressively with a KV cache (expressed as concatenations). Returns
+ * the final-step logits. With config.multi_query, K/V use one shared head
+ * (the multi-query attention of the MQ sharding strategy).
+ */
+Func* BuildTransformerInference(Module& module,
+                                const TransformerConfig& config,
+                                int64_t decode_steps,
+                                const std::string& name = "transformer_infer");
+
+}  // namespace partir
+
+#endif  // PARTIR_MODELS_TRANSFORMER_H_

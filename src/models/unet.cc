@@ -1,0 +1,222 @@
+#include "src/models/unet.h"
+
+#include <cmath>
+
+#include "src/ir/builder.h"
+
+namespace partir {
+namespace {
+
+/** RMS norm over the channel (last) dim of an NHWC tensor. */
+Value* ChannelNorm(OpBuilder& builder, Value* x, Value* scale) {
+  return builder.RmsNorm(x, scale);
+}
+
+Value* Silu(OpBuilder& builder, Value* x) {
+  return builder.Mul(x, builder.Logistic(x));
+}
+
+/** Adds a bias [C] onto an NHWC tensor. */
+Value* AddBias(OpBuilder& builder, Value* x, Value* bias) {
+  return builder.Add(
+      x, builder.BroadcastInDim(bias, x->tensor_type().dims(), {3}));
+}
+
+struct ResBlockParams {
+  Value* norm1;
+  Value* conv1_w;
+  Value* conv1_b;
+  Value* norm2;
+  Value* conv2_w;
+  Value* conv2_b;
+  Value* skip_w;  // 1x1 projection for the residual path
+};
+
+ResBlockParams AddResBlockParams(Block& body, const std::string& prefix,
+                                 int64_t c_in, int64_t c_out) {
+  ResBlockParams params;
+  params.norm1 = body.AddArg(TensorType({c_in}), prefix + "norm1");
+  params.conv1_w =
+      body.AddArg(TensorType({3, 3, c_in, c_out}), prefix + "conv1_w");
+  params.conv1_b = body.AddArg(TensorType({c_out}), prefix + "conv1_b");
+  params.norm2 = body.AddArg(TensorType({c_out}), prefix + "norm2");
+  params.conv2_w =
+      body.AddArg(TensorType({3, 3, c_out, c_out}), prefix + "conv2_w");
+  params.conv2_b = body.AddArg(TensorType({c_out}), prefix + "conv2_b");
+  params.skip_w =
+      body.AddArg(TensorType({1, 1, c_in, c_out}), prefix + "skip_w");
+  return params;
+}
+
+Value* ResBlock(OpBuilder& builder, const ResBlockParams& params, Value* x) {
+  Value* h = ChannelNorm(builder, x, params.norm1);
+  h = Silu(builder, h);
+  h = AddBias(builder, builder.Convolution(h, params.conv1_w),
+              params.conv1_b);
+  h = ChannelNorm(builder, h, params.norm2);
+  h = Silu(builder, h);
+  h = AddBias(builder, builder.Convolution(h, params.conv2_w),
+              params.conv2_b);
+  Value* skip = builder.Convolution(x, params.skip_w);
+  return builder.Add(skip, h);
+}
+
+struct AttentionParams {
+  Value* norm;
+  Value* wq;
+  Value* wk;
+  Value* wv;
+  Value* wo;
+};
+
+/** Spatial self-attention over all H*W positions (16 heads). */
+Value* SpatialAttention(OpBuilder& builder, const AttentionParams& params,
+                        Value* x, int64_t heads) {
+  const TensorType& type = x->tensor_type();  // [B,H,W,C]
+  int64_t channels = type.dim(3);
+  int64_t head_dim = channels / heads;
+  PARTIR_CHECK(channels % heads == 0) << "channels must divide heads";
+  Value* h = ChannelNorm(builder, x, params.norm);
+  // Projections with explicit head dims: [B,H,W,heads,dh].
+  Value* q = builder.Dot(h, params.wq, {3}, {0});
+  Value* k = builder.Dot(h, params.wk, {3}, {0});
+  Value* v = builder.Dot(h, params.wv, {3}, {0});
+  double scale = 1.0 / std::sqrt(static_cast<double>(head_dim));
+  // logits [B,heads,H,W,H',W']: contract dh, batch over (B, heads).
+  Value* logits = builder.Dot(q, k, {4}, {4}, {0, 3}, {0, 3});
+  logits = builder.MulScalar(logits, scale);
+  // Softmax over the last two (key-position) dims.
+  Value* max = builder.Reduce(logits, {4, 5}, "max");
+  Value* centered = builder.Sub(
+      logits, builder.BroadcastInDim(max, logits->tensor_type().dims(),
+                                     {0, 1, 2, 3}));
+  Value* exped = builder.Exp(centered);
+  Value* denom = builder.Reduce(exped, {4, 5}, "sum");
+  Value* probs = builder.Div(
+      exped, builder.BroadcastInDim(denom, exped->tensor_type().dims(),
+                                    {0, 1, 2, 3}));
+  // attn [B,heads,H,W,dh]: contract key positions (dims 4,5 of probs with
+  // dims 1,2 of v), batch over (B, heads).
+  Value* attn = builder.Dot(probs, v, {4, 5}, {1, 2}, {0, 1}, {0, 3});
+  // Back to channels: attn [B,heads,H,W,dh] x wo [heads,dh,C] -> [B,H,W,C].
+  Value* out = builder.Dot(attn, params.wo, {1, 4}, {0, 1});
+  return builder.Add(x, out);
+}
+
+}  // namespace
+
+Func* BuildUNetLoss(Module& module, const UNetConfig& config,
+                    const std::string& name) {
+  Func* func = module.AddFunc(name);
+  Block& body = func->body();
+  int64_t c = config.base_channels;
+
+  // Channel schedule for the down path: thirds at c, 2c, 4c.
+  auto down_channels = [&](int64_t block) {
+    if (block < config.num_down / 3) return c;
+    if (block < 2 * config.num_down / 3) return 2 * c;
+    return 4 * c;
+  };
+
+  Value* in_conv_w = body.AddArg(
+      TensorType({3, 3, config.in_channels, c}), "params.in_conv_w");
+  Value* in_conv_b = body.AddArg(TensorType({c}), "params.in_conv_b");
+
+  std::vector<ResBlockParams> down_params;
+  int64_t current = c;
+  for (int64_t i = 0; i < config.num_down; ++i) {
+    int64_t next = down_channels(i);
+    down_params.push_back(AddResBlockParams(
+        body, StrCat("params.down", i, "."), current, next));
+    current = next;
+  }
+  ResBlockParams mid1 =
+      AddResBlockParams(body, "params.mid1.", current, current);
+  AttentionParams attention;
+  {
+    int64_t dh = current / config.attention_heads;
+    attention.norm = body.AddArg(TensorType({current}), "params.attn.norm");
+    attention.wq = body.AddArg(
+        TensorType({current, config.attention_heads, dh}), "params.attn.wq");
+    attention.wk = body.AddArg(
+        TensorType({current, config.attention_heads, dh}), "params.attn.wk");
+    attention.wv = body.AddArg(
+        TensorType({current, config.attention_heads, dh}), "params.attn.wv");
+    attention.wo = body.AddArg(
+        TensorType({config.attention_heads, dh, current}), "params.attn.wo");
+  }
+  ResBlockParams mid2 =
+      AddResBlockParams(body, "params.mid2.", current, current);
+
+  // Up path: the first num_down blocks consume skips (reverse order).
+  std::vector<ResBlockParams> up_params;
+  std::vector<int64_t> skip_channels;
+  {
+    int64_t ch = c;
+    for (int64_t i = 0; i < config.num_down; ++i) {
+      ch = down_channels(i);
+      skip_channels.push_back(ch);
+    }
+  }
+  int64_t up_current = current;
+  for (int64_t i = 0; i < config.num_up; ++i) {
+    int64_t skip_extra = 0;
+    if (i < config.num_down) {
+      skip_extra = skip_channels[config.num_down - 1 - i];
+    }
+    int64_t target =
+        i < config.num_down
+            ? skip_channels[config.num_down - 1 - i]
+            : c;
+    up_params.push_back(AddResBlockParams(
+        body, StrCat("params.up", i, "."), up_current + skip_extra, target));
+    up_current = target;
+  }
+
+  Value* out_norm = body.AddArg(TensorType({up_current}), "params.out_norm");
+  Value* out_conv_w = body.AddArg(
+      TensorType({3, 3, up_current, config.in_channels}),
+      "params.out_conv_w");
+  Value* out_conv_b =
+      body.AddArg(TensorType({config.in_channels}), "params.out_conv_b");
+
+  std::vector<int64_t> image_dims = {config.batch, config.height,
+                                     config.width, config.in_channels};
+  Value* image = body.AddArg(TensorType(image_dims), "image");
+  Value* target = body.AddArg(TensorType(image_dims), "noise_target");
+
+  OpBuilder builder(&body);
+  Value* x = AddBias(builder, builder.Convolution(image, in_conv_w),
+                     in_conv_b);
+  std::vector<Value*> skips;
+  for (int64_t i = 0; i < config.num_down; ++i) {
+    x = ResBlock(builder, down_params[i], x);
+    skips.push_back(x);
+  }
+  x = ResBlock(builder, mid1, x);
+  x = SpatialAttention(builder, attention, x, config.attention_heads);
+  x = ResBlock(builder, mid2, x);
+  for (int64_t i = 0; i < config.num_up; ++i) {
+    if (i < config.num_down) {
+      x = builder.Concatenate({x, skips[config.num_down - 1 - i]}, 3);
+    }
+    x = ResBlock(builder, up_params[i], x);
+  }
+  x = Silu(builder, ChannelNorm(builder, x, out_norm));
+  Value* prediction = AddBias(
+      builder, builder.Convolution(x, out_conv_w), out_conv_b);
+  Value* err = builder.Sub(prediction, target);
+  Value* loss = builder.Mean(builder.Mul(err, err), {0, 1, 2, 3});
+  builder.Return({loss});
+  return func;
+}
+
+Func* BuildUNetTrainingStep(Module& module, const UNetConfig& config,
+                            const std::string& name) {
+  Module scratch;
+  Func* loss_fn = BuildUNetLoss(scratch, config, "loss");
+  return BuildTrainingStep(*loss_fn, module, name,
+                           static_cast<int>(config.NumParams()));
+}
+
+}  // namespace partir

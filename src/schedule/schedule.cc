@@ -1,0 +1,118 @@
+#include "src/schedule/schedule.h"
+
+#include <chrono>
+
+namespace partir {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** Values a manual tactic's key selects: exact match, else substring match
+ *  over function inputs and tagged values. */
+std::vector<Value*> SelectValues(PartitionContext& ctx,
+                                 const std::string& key) {
+  if (Value* exact = ctx.FindValue(key)) return {exact};
+  std::vector<Value*> matched;
+  const Func& func = *ctx.func();
+  for (const auto& arg : func.body().args()) {
+    if (arg->name().find(key) != std::string::npos) {
+      matched.push_back(arg.get());
+    }
+  }
+  WalkOps(const_cast<Func&>(func).body(), [&](Operation& op) {
+    if (op.kind() == OpKind::kTag &&
+        op.attrs().Get<std::string>("name").find(key) !=
+            std::string::npos) {
+      matched.push_back(op.result());
+    }
+  });
+  return matched;
+}
+
+int ApplyActionToValue(PartitionContext& ctx, Value* value, int64_t dim,
+                       const std::string& axis) {
+  if (!value->type().IsTensor()) return 0;
+  if (dim == kReplicated) {
+    ctx.AtomicValue(value, axis);
+    return 1;
+  }
+  if (dim == kFirstDivisibleDim) {
+    const TensorType& type = value->tensor_type();
+    for (int64_t d = 0; d < type.rank(); ++d) {
+      int64_t local = ctx.LocalDimSize(type.dims(), ctx.state(value), d);
+      if (local % ctx.mesh().AxisSize(axis) == 0 &&
+          !ctx.state(value).HasAxis(axis)) {
+        if (ctx.TileValue(value, d, axis)) return 1;
+      }
+    }
+    return 0;
+  }
+  return ctx.TileValue(value, dim, axis) ? 1 : 0;
+}
+
+}  // namespace
+
+int ApplyManualTactic(PartitionContext& ctx, const ManualPartition& tactic) {
+  int applied = 0;
+  for (const auto& [key, dim] : tactic.inputs) {
+    std::vector<Value*> values = SelectValues(ctx, key);
+    for (Value* value : values) {
+      applied += ApplyActionToValue(ctx, value, dim, tactic.axis);
+    }
+  }
+  return applied;
+}
+
+PartitionResult PartirJit(PartitionContext& ctx,
+                          const std::vector<Tactic>& schedule,
+                          const PartitionOptions& options) {
+  PartitionResult result;
+  auto total_start = Clock::now();
+
+  for (const Tactic& tactic : schedule) {
+    auto tactic_start = Clock::now();
+    TacticReport report;
+    if (const auto* manual = std::get_if<ManualPartition>(&tactic)) {
+      report.name = manual->name.empty()
+                        ? StrCat("manual(", manual->axis, ")")
+                        : manual->name;
+      report.actions_applied = ApplyManualTactic(ctx, *manual);
+      if (options.incremental) ctx.Propagate();
+    } else {
+      const auto& automatic = std::get<AutomaticPartition>(tactic);
+      report.name = automatic.name.empty() ? "auto" : automatic.name;
+      AutoOptions auto_options = automatic.options;
+      auto_options.device = options.device;
+      AutoResult found =
+          AutomaticallyPartition(ctx, automatic.axes, auto_options);
+      report.actions_applied = static_cast<int>(found.actions.size());
+    }
+    report.conflicts = static_cast<int>(ctx.conflicts().size());
+    report.tactic_seconds = SecondsSince(tactic_start);
+
+    if (options.per_tactic_reports) {
+      SpmdModule snapshot = LowerToSpmd(ctx);
+      OptimizeSpmd(snapshot);
+      report.collectives = CountCollectives(*snapshot.module, snapshot.mesh);
+      report.estimate = EstimateSpmd(snapshot, options.device);
+    }
+    result.tactics.push_back(std::move(report));
+  }
+
+  if (!options.incremental) ctx.Propagate();  // PartIR-st: one propagation
+
+  result.spmd = LowerToSpmd(ctx);
+  OptimizeSpmd(result.spmd);
+  result.collectives = CountCollectives(*result.spmd.module,
+                                        result.spmd.mesh);
+  result.estimate = EstimateSpmd(result.spmd, options.device);
+  result.conflicts = ctx.conflicts();
+  result.partition_seconds = SecondsSince(total_start);
+  return result;
+}
+
+}  // namespace partir

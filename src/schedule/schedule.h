@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The PartIR schedule API (paper Section 3, Table 1): users compose
+ * ManualPartition and AutomaticPartition *tactics*; each tactic desugars
+ * into tile/atomic compiler actions followed by propagation, applied
+ * incrementally. `PartirJit` runs a schedule through the whole stack —
+ * actions -> propagation -> SPMD lowering -> collective optimization — and
+ * returns the device-local module together with per-tactic metadata
+ * (collective breakdown and simulator estimates), the paper's headline
+ * "verify the strategy after every tactic" workflow.
+ */
+#ifndef PARTIR_SCHEDULE_SCHEDULE_H_
+#define PARTIR_SCHEDULE_SCHEDULE_H_
+
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/autopart/mcts.h"
+#include "src/core/context.h"
+#include "src/sim/cost_model.h"
+#include "src/spmd/lowering.h"
+#include "src/spmd/optimize.h"
+
+namespace partir {
+
+/** Keep the value replicated on the tactic's axis (Z2's `REPLICATED`). */
+constexpr int64_t kReplicated = -1;
+/** Shard the first dim divisible by the axis (`FIRST_DIVISIBLE_DIM`). */
+constexpr int64_t kFirstDivisibleDim = -2;
+
+/**
+ * A manual tactic: shard the named inputs along `axis`.
+ *
+ * Keys match function inputs (or `tag`ged values) by exact name first;
+ * otherwise every input whose name *contains* the key is matched — the
+ * mechanism behind the paper's per-parameter callbacks (Appendix A.4),
+ * e.g. {"qkv_einsum": 1} shards every block's QKV projection.
+ */
+struct ManualPartition {
+  std::string name;
+  /** Ordered (key, dim) actions; order matters (e.g. REPLICATED marks must
+   *  precede FIRST_DIVISIBLE_DIM keys that would otherwise match). */
+  std::vector<std::pair<std::string, int64_t>> inputs;
+  std::string axis;
+};
+
+/** An automatic tactic: discover sharding over the given axes (Section 3). */
+struct AutomaticPartition {
+  std::string name;
+  std::vector<std::string> axes;
+  AutoOptions options;
+};
+
+using Tactic = std::variant<ManualPartition, AutomaticPartition>;
+
+/** Metadata reported after each tactic (PartIR.jit's returned metadata). */
+struct TacticReport {
+  std::string name;
+  int actions_applied = 0;       // tile/atomic actions that took effect
+  int conflicts = 0;             // cumulative propagation conflicts
+  CollectiveStats collectives;   // after lowering this tactic's prefix
+  SimEstimate estimate;          // simulator estimate of the prefix
+  double tactic_seconds = 0;     // wall-clock spent in this tactic
+};
+
+/** Pipeline options. */
+struct PartitionOptions {
+  DeviceSpec device = Tpu_v3();
+  /**
+   * true  = PartIR  (propagate at every tactic boundary);
+   * false = PartIR-st, the Section 7.4 ablation that amalgamates all
+   *         tactics into one and propagates once at the end.
+   */
+  bool incremental = true;
+  /** Lower + simulate after every tactic (per-tactic metadata). */
+  bool per_tactic_reports = true;
+};
+
+/** Result of running a schedule. */
+struct PartitionResult {
+  SpmdModule spmd;                     // final optimized device-local module
+  CollectiveStats collectives;         // final counts (Table 3 rows)
+  SimEstimate estimate;                // final simulator estimate
+  std::vector<TacticReport> tactics;   // per-tactic metadata
+  double partition_seconds = 0;        // total PartIR time (Figure 8)
+  std::vector<Conflict> conflicts;     // all recorded conflicts
+};
+
+/** Runs a schedule against a partition context (Table 1's PartIR.jit). */
+PartitionResult PartirJit(PartitionContext& ctx,
+                          const std::vector<Tactic>& schedule,
+                          const PartitionOptions& options = {});
+
+/** Applies one manual tactic's actions; returns #actions applied. */
+int ApplyManualTactic(PartitionContext& ctx, const ManualPartition& tactic);
+
+}  // namespace partir
+
+#endif  // PARTIR_SCHEDULE_SCHEDULE_H_

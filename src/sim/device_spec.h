@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Device registry for the simulator (paper Appendix A.3: "PartIR keeps a
+ * registry of popular compilation devices ... requiring only high-level
+ * device specs"). Specs follow Section 7.1's benchmarking setup.
+ */
+#ifndef PARTIR_SIM_DEVICE_SPEC_H_
+#define PARTIR_SIM_DEVICE_SPEC_H_
+
+#include <string>
+
+#include "src/support/check.h"
+
+namespace partir {
+
+/** High-level specs of one accelerator device. */
+struct DeviceSpec {
+  std::string name;
+  double peak_flops;       // float32 FLOP/s
+  double hbm_bytes;        // high-bandwidth memory capacity
+  double mem_bandwidth;    // bytes/s, HBM
+  double link_bandwidth;   // bytes/s, inter-device interconnect
+  double link_latency_s;   // per-collective latency
+  double compute_efficiency = 0.55;  // achievable fraction of peak
+};
+
+/** TPUv3: 61.5 TF32/core, 16 GiB HBM2, 4 links x 70 GB/s (Section 7.1). */
+inline DeviceSpec Tpu_v3() {
+  return DeviceSpec{
+      "tpu_v3",
+      61.5e12,
+      16.0 * (1ull << 30),
+      900e9,
+      4 * 70e9,
+      2e-6,
+  };
+}
+
+/** Nvidia A100-40GB: 156 TF32 FLOPS, NVLink 600 GB/s (Section 7.1). */
+inline DeviceSpec A100() {
+  return DeviceSpec{
+      "a100",
+      156e12,
+      40.0 * 1e9,
+      1555e9,
+      600e9,
+      3e-6,
+  };
+}
+
+/** Looks up a device by name ("tpu_v3" or "a100"). */
+inline DeviceSpec DeviceByName(const std::string& name) {
+  if (name == "tpu_v3") return Tpu_v3();
+  if (name == "a100") return A100();
+  PARTIR_CHECK(false) << "unknown device '" << name << "'";
+  return {};
+}
+
+}  // namespace partir
+
+#endif  // PARTIR_SIM_DEVICE_SPEC_H_

@@ -1,0 +1,234 @@
+#include "src/spmd/lowering.h"
+
+#include <map>
+
+#include "src/ir/builder.h"
+#include "src/support/str_util.h"
+
+namespace partir {
+
+std::string ValueSharding::ToString() const {
+  return StrCat("[", StrJoin(axes, ",", [](const std::vector<std::string>& a) {
+                  return StrCat("{", StrJoin(a, ","), "}");
+                }),
+                "]");
+}
+
+AxesPerDim TilesToAxesPerDim(const std::vector<ValueTile>& tiles, int rank) {
+  AxesPerDim axes(rank);
+  for (const ValueTile& tile : tiles) {
+    axes[tile.dim].push_back(tile.axis);
+  }
+  return axes;
+}
+
+namespace {
+
+class SpmdLowering {
+ public:
+  SpmdLowering(const PartitionContext& ctx, SpmdModule& out)
+      : ctx_(ctx), out_(out), builder_(nullptr) {}
+
+  void Run() {
+    const Func& src = *ctx_.func();
+    Func* dst = out_.module->AddFunc(src.name());
+    builder_.SetInsertionBlock(&dst->body());
+    const Mesh& mesh = ctx_.mesh();
+    builder_.SetAxisSizeFn(
+        [&mesh](const std::string& axis) { return mesh.AxisSize(axis); });
+
+    for (const auto& arg : src.body().args()) {
+      const TensorType& type = arg->tensor_type();
+      std::vector<ValueTile> tiles = ctx_.RealizedTiles(arg.get());
+      TensorType local(ctx_.LocalDims(arg.get()), type.dtype());
+      Value* new_arg = dst->body().AddArg(local, arg->name());
+      map_[arg.get()] = new_arg;
+      placement_[arg.get()] = tiles;
+      out_.input_shardings.push_back(
+          ValueSharding{TilesToAxesPerDim(tiles, type.rank())});
+    }
+    for (const auto& op : src.body().ops()) {
+      EmitOp(*op);
+    }
+  }
+
+ private:
+  // Redistributes `value` (device-local) from placement `from` to `to`.
+  // Emits all_to_all for axes that move dims, all_gather for axes to drop,
+  // all_slice for axes to add.
+  Value* Reshard(Value* value, std::vector<ValueTile> from,
+                 const std::vector<ValueTile>& to) {
+    auto dim_of = [](const std::vector<ValueTile>& tiles,
+                     const std::string& axis) -> int64_t {
+      for (const ValueTile& tile : tiles) {
+        if (tile.axis == axis) return tile.dim;
+      }
+      return -1;
+    };
+    // 1. Axes present in both but on different dims: all_to_all.
+    for (const ValueTile& target : to) {
+      int64_t from_dim = dim_of(from, target.axis);
+      if (from_dim < 0 || from_dim == target.dim) continue;
+      value = builder_.AllToAll(value, /*slice_dim=*/target.dim,
+                                /*concat_dim=*/from_dim, {target.axis});
+      for (ValueTile& tile : from) {
+        if (tile.axis == target.axis) tile.dim = target.dim;
+      }
+    }
+    // 2. Axes to drop: one all_gather.
+    AxesPerDim gather(value->tensor_type().rank());
+    bool any_gather = false;
+    // Gather innermost-first within each dim: reverse tile order.
+    for (auto it = from.rbegin(); it != from.rend(); ++it) {
+      if (dim_of(to, it->axis) < 0) {
+        gather[it->dim].push_back(it->axis);
+        any_gather = true;
+      }
+    }
+    // Reverse each dim list back to outer-first order for the attribute.
+    for (auto& list : gather) std::reverse(list.begin(), list.end());
+    if (any_gather) value = builder_.AllGather(value, gather);
+    // 3. Axes to add: one all_slice (communication-free).
+    AxesPerDim slice(value->tensor_type().rank());
+    bool any_slice = false;
+    for (const ValueTile& target : to) {
+      if (dim_of(from, target.axis) < 0) {
+        slice[target.dim].push_back(target.axis);
+        any_slice = true;
+      }
+    }
+    if (any_slice) value = builder_.AllSlice(value, slice);
+    return value;
+  }
+
+  Value* Mapped(const Value* value) {
+    auto it = map_.find(value);
+    PARTIR_CHECK(it != map_.end()) << "spmd lowering: unmapped value";
+    return it->second;
+  }
+
+  const std::vector<ValueTile>& PlacementOf(const Value* value) {
+    auto it = placement_.find(value);
+    PARTIR_CHECK(it != placement_.end()) << "spmd lowering: no placement";
+    return it->second;
+  }
+
+  void EmitOp(const Operation& op) {
+    if (op.kind() == OpKind::kReturn) {
+      std::vector<Value*> results;
+      for (const Value* operand : op.operands()) {
+        // Reshard returned values to their full declared state so that
+        // explicit output tilings (e.g. activation sharding) take effect.
+        const std::vector<ValueTile>& want = ctx_.state(operand).tiles;
+        Value* v = Reshard(Mapped(operand), PlacementOf(operand), want);
+        results.push_back(v);
+        out_.output_shardings.push_back(ValueSharding{
+            TilesToAxesPerDim(want, operand->tensor_type().rank())});
+      }
+      builder_.Return(std::move(results));
+      return;
+    }
+
+    if (op.kind() == OpKind::kTag) {
+      // Tags are metadata: pass the value through, keeping its placement.
+      // Consumers reshard from the producer's placement directly (which is
+      // where barrier tags turn into all_to_all redistributions).
+      map_[op.result()] = Mapped(op.operand(0));
+      placement_[op.result()] = PlacementOf(op.operand(0));
+      return;
+    }
+
+    const std::vector<OpAxisEntry>& nest = ctx_.nest(&op);
+    OpShardingSpec spec = GetShardingSpec(op);
+
+    // Required placement per operand, from the nest's factors.
+    std::vector<Value*> local_operands;
+    for (int i = 0; i < op.num_operands(); ++i) {
+      std::vector<ValueTile> required;
+      for (const OpAxisEntry& entry : nest) {
+        const Factor& factor = spec.factors.at(entry.factor);
+        if (i < static_cast<int>(factor.operand_dims.size()) &&
+            factor.operand_dims[i] >= 0) {
+          required.push_back(ValueTile{entry.axis, factor.operand_dims[i]});
+        }
+      }
+      Value* mapped = Mapped(op.operand(i));
+      local_operands.push_back(
+          Reshard(mapped, PlacementOf(op.operand(i)), required));
+    }
+
+    // Result placement: the nest's tile entries.
+    std::vector<ValueTile> result_tiles;
+    for (const OpAxisEntry& entry : nest) {
+      if (entry.contracting) continue;
+      const Factor& factor = spec.factors.at(entry.factor);
+      result_tiles.push_back(ValueTile{entry.axis, factor.result_dim});
+    }
+
+    // Data constants cannot be shrunk: emit full, then all_slice.
+    bool slice_result =
+        op.kind() == OpKind::kConstant && op.attrs().Has("data");
+
+    std::vector<Type> result_types;
+    for (int i = 0; i < op.num_results(); ++i) {
+      if (slice_result) {
+        result_types.push_back(op.result(i)->type());
+      } else {
+        result_types.push_back(TensorType(
+            ctx_.LocalDims(op.result(i)),
+            op.result(i)->tensor_type().dtype()));
+      }
+    }
+    Operation* emitted = builder_.Create(op.kind(), std::move(local_operands),
+                                         std::move(result_types));
+    for (const auto& [name, attr] : op.attrs().raw()) {
+      emitted->attrs().Set(name, attr);
+    }
+    PARTIR_CHECK(op.num_results() == 1);
+    emitted->result()->set_name(op.result()->name());
+    Value* result = emitted->result();
+
+    if (slice_result && !result_tiles.empty()) {
+      result = builder_.AllSlice(
+          result,
+          TilesToAxesPerDim(result_tiles, result->tensor_type().rank()));
+    }
+
+    // #sum axes: all_reduce, grouped by reduction kind.
+    std::vector<std::string> sum_axes;
+    std::vector<std::string> max_axes;
+    for (const OpAxisEntry& entry : nest) {
+      if (!entry.contracting) continue;
+      const Factor& factor = spec.factors.at(entry.factor);
+      (factor.reduction == "max" ? max_axes : sum_axes)
+          .push_back(entry.axis);
+    }
+    if (!sum_axes.empty()) {
+      result = builder_.AllReduce(result, sum_axes, "sum");
+    }
+    if (!max_axes.empty()) {
+      result = builder_.AllReduce(result, max_axes, "max");
+    }
+
+    map_[op.result()] = result;
+    placement_[op.result()] = result_tiles;
+  }
+
+  const PartitionContext& ctx_;
+  SpmdModule& out_;
+  OpBuilder builder_;
+  std::map<const Value*, Value*> map_;
+  std::map<const Value*, std::vector<ValueTile>> placement_;
+};
+
+}  // namespace
+
+SpmdModule LowerToSpmd(const PartitionContext& ctx) {
+  SpmdModule result;
+  result.module = std::make_unique<Module>();
+  result.mesh = ctx.mesh();
+  SpmdLowering(ctx, result).Run();
+  return result;
+}
+
+}  // namespace partir

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Lowering from PartIR:Core partitioning state to a device-local SPMD module
+ * with PartIR:HLO mesh-axis collectives (Section 6 / Appendix C).
+ *
+ * The translation follows Appendix C's scheme: function arguments become
+ * device-local shards; each operation executes on local shapes; slices of
+ * replicated values become (communication-free) all_slice ops; #sum loop
+ * axes become all_reduce; and whenever a value's realized placement differs
+ * from the placement a use requires, a *redistribution* is inserted —
+ * all_gather, all_slice, or all_to_all. Redistributions are emitted per use
+ * site (never CSE'd), which is what yields FSDP's re-gather in forward and
+ * backward passes and its peak-memory savings.
+ */
+#ifndef PARTIR_SPMD_LOWERING_H_
+#define PARTIR_SPMD_LOWERING_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/context.h"
+#include "src/ir/ir.h"
+#include "src/mesh/mesh.h"
+
+namespace partir {
+
+/** Sharding of one function input/output: axes per dimension. */
+struct ValueSharding {
+  AxesPerDim axes;
+  std::string ToString() const;
+};
+
+/** Result of SPMD lowering. */
+struct SpmdModule {
+  std::unique_ptr<Module> module;  // device-local program
+  Mesh mesh;
+  std::vector<ValueSharding> input_shardings;
+  std::vector<ValueSharding> output_shardings;
+
+  Func* main() const { return module->main(); }
+};
+
+/**
+ * Lowers the context's function to a device-local SPMD module. The returned
+ * module is unoptimized; run OptimizeSpmd (optimize.h) before counting
+ * collectives or estimating cost.
+ */
+SpmdModule LowerToSpmd(const PartitionContext& ctx);
+
+/** Converts an ordered tile list into per-dimension axes lists. */
+AxesPerDim TilesToAxesPerDim(const std::vector<ValueTile>& tiles, int rank);
+
+}  // namespace partir
+
+#endif  // PARTIR_SPMD_LOWERING_H_

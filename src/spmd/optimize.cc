@@ -1,0 +1,435 @@
+#include "src/spmd/optimize.h"
+
+#include <algorithm>
+#include <sstream>
+#include <map>
+
+#include "src/ir/builder.h"
+#include "src/ir/passes.h"
+#include "src/support/str_util.h"
+
+namespace partir {
+namespace {
+
+// Flattened (axis -> dim) view of an axes_per_dim attribute.
+std::map<std::string, int64_t> AxisDims(const AxesPerDim& axes) {
+  std::map<std::string, int64_t> result;
+  for (size_t dim = 0; dim < axes.size(); ++dim) {
+    for (const std::string& axis : axes[dim]) {
+      result[axis] = static_cast<int64_t>(dim);
+    }
+  }
+  return result;
+}
+
+bool AllEmpty(const AxesPerDim& axes) {
+  for (const auto& list : axes) {
+    if (!list.empty()) return false;
+  }
+  return true;
+}
+
+// Rebuilds the function applying peephole rewrites; returns rewrite count.
+class Peephole {
+ public:
+  Peephole(SpmdModule& spmd) : spmd_(spmd) {}
+
+  int64_t RunOnce() {
+    Func* func = spmd_.main();
+    uses_ = CountUses(*func);
+    Module scratch;
+    Func* next = scratch.AddFunc(func->name());
+    builder_.SetInsertionBlock(&next->body());
+    const Mesh& mesh = spmd_.mesh;
+    builder_.SetAxisSizeFn(
+        [&mesh](const std::string& axis) { return mesh.AxisSize(axis); });
+    rewrites_ = 0;
+    map_.clear();
+    slice_cse_.clear();
+    for (const auto& arg : func->body().args()) {
+      map_[arg.get()] = next->body().AddArg(arg->type(), arg->name());
+    }
+    for (const auto& op : func->body().ops()) {
+      VisitOp(*op);
+    }
+    // Swap the rebuilt function into the module.
+    auto fresh = std::make_unique<Module>();
+    CloneFunc(*next, *fresh, func->name(), nullptr);
+    spmd_.module = std::move(fresh);
+    EliminateDeadCode(*spmd_.main());
+    return rewrites_;
+  }
+
+ private:
+  Value* Mapped(const Value* value) {
+    auto it = map_.find(value);
+    PARTIR_CHECK(it != map_.end()) << "optimize: unmapped value";
+    return it->second;
+  }
+
+  Operation* CloneWithMappedOperands(const Operation& op) {
+    std::vector<Value*> operands;
+    for (const Value* operand : op.operands()) {
+      operands.push_back(Mapped(operand));
+    }
+    std::vector<Type> result_types;
+    for (int i = 0; i < op.num_results(); ++i) {
+      result_types.push_back(op.result(i)->type());
+    }
+    Operation* clone = builder_.Create(op.kind(), std::move(operands),
+                                       std::move(result_types));
+    for (const auto& [name, attr] : op.attrs().raw()) {
+      clone->attrs().Set(name, attr);
+    }
+    for (int i = 0; i < op.num_results(); ++i) {
+      clone->result(i)->set_name(op.result(i)->name());
+      map_[op.result(i)] = clone->result(i);
+    }
+    return clone;
+  }
+
+  std::string SliceKey(const Operation& op) {
+    std::ostringstream key;
+    key << Mapped(op.operand(0));
+    for (const auto& list : op.attrs().Get<AxesPerDim>("axes_per_dim")) {
+      key << "|";
+      for (const std::string& axis : list) key << axis << ",";
+    }
+    return key.str();
+  }
+
+  void VisitOp(const Operation& op) {
+    switch (op.kind()) {
+      case OpKind::kAllSlice: {
+        // CSE identical slices: all_slice is communication-free and local,
+        // so sharing one shard among uses changes neither collective counts
+        // nor peak memory (unlike all_gather, which is deliberately
+        // per-use, Design decision #4).
+        std::string key = SliceKey(op);
+        auto seen = slice_cse_.find(key);
+        if (seen != slice_cse_.end()) {
+          map_[op.result()] = seen->second;
+          ++rewrites_;
+          return;
+        }
+        if (!RewriteAllSlice(op)) CloneWithMappedOperands(op);
+        slice_cse_[key] = map_[op.result()];
+        return;
+      }
+      case OpKind::kAllGather:
+        if (RewriteAllGather(op)) return;
+        break;
+      case OpKind::kAllReduce:
+        if (op.attrs().Get<std::vector<std::string>>("axes").empty()) {
+          map_[op.result()] = Mapped(op.operand(0));
+          ++rewrites_;
+          return;
+        }
+        break;
+      case OpKind::kAdd:
+        if (RewriteAddOfAllReduces(op)) return;
+        break;
+      case OpKind::kTranspose:
+        if (RewriteTranspose(op)) return;
+        break;
+      default:
+        break;
+    }
+    CloneWithMappedOperands(op);
+  }
+
+  // transpose with the identity permutation -> operand; transpose of a
+  // single-use all_reduce commutes inside it (enables AR-sum fusion across
+  // the transposes that dot VJPs emit).
+  bool RewriteTranspose(const Operation& op) {
+    const auto& perm = op.attrs().Get<std::vector<int64_t>>("perm");
+    bool identity = true;
+    for (size_t i = 0; i < perm.size(); ++i) {
+      if (perm[i] != static_cast<int64_t>(i)) identity = false;
+    }
+    if (identity) {
+      map_[op.result()] = Mapped(op.operand(0));
+      ++rewrites_;
+      return true;
+    }
+    const Operation* def = op.operand(0)->def();
+    if (def != nullptr && def->kind() == OpKind::kAllReduce &&
+        uses_[def->result()] == 1) {
+      Operation* transpose = builder_.Create(
+          OpKind::kTranspose, {Mapped(def->operand(0))},
+          {op.result()->type()});
+      transpose->attrs().Set("perm", perm);
+      map_[op.result()] = builder_.AllReduce(
+          transpose->result(),
+          def->attrs().Get<std::vector<std::string>>("axes"),
+          def->attrs().Get<std::string>("reduction"));
+      ++rewrites_;
+      return true;
+    }
+    return false;
+  }
+
+  // add(all_reduce(x), all_reduce(y)) over the same axes (sum) and with no
+  // other uses -> all_reduce(add(x, y)). This linearity rewrite is what
+  // backend compilers apply to gradient accumulation; it is required for
+  // Megatron's backward pass to cost exactly 2 extra AllReduces per layer
+  // (the paper's "4 AR per layer" for forward+backward, Section 7.3).
+  bool RewriteAddOfAllReduces(const Operation& op) {
+    const Operation* a = op.operand(0)->def();
+    const Operation* b = op.operand(1)->def();
+    if (a == nullptr || b == nullptr) return false;
+    if (a->kind() != b->kind()) return false;
+    if (uses_[a->result()] != 1 || uses_[b->result()] != 1) return false;
+    if (a->kind() == OpKind::kAllReduce) {
+      const auto& axes_a = a->attrs().Get<std::vector<std::string>>("axes");
+      const auto& axes_b = b->attrs().Get<std::vector<std::string>>("axes");
+      if (axes_a != axes_b) return false;
+      if (a->attrs().Get<std::string>("reduction") != "sum" ||
+          b->attrs().Get<std::string>("reduction") != "sum") {
+        return false;
+      }
+      Value* sum =
+          builder_.Add(Mapped(a->operand(0)), Mapped(b->operand(0)));
+      map_[op.result()] = builder_.AllReduce(sum, axes_a, "sum");
+      ++rewrites_;
+      return true;
+    }
+    if (a->kind() == OpKind::kReduceScatter) {
+      // Same linearity rewrite for reduce_scatter partial sums.
+      const auto& axes_a = a->attrs().Get<AxesPerDim>("axes_per_dim");
+      const auto& axes_b = b->attrs().Get<AxesPerDim>("axes_per_dim");
+      if (axes_a != axes_b) return false;
+      if (a->attrs().Get<std::string>("reduction") != "sum" ||
+          b->attrs().Get<std::string>("reduction") != "sum") {
+        return false;
+      }
+      Value* sum =
+          builder_.Add(Mapped(a->operand(0)), Mapped(b->operand(0)));
+      map_[op.result()] = builder_.ReduceScatter(sum, axes_a, "sum");
+      ++rewrites_;
+      return true;
+    }
+    return false;
+  }
+
+  bool RewriteAllSlice(const Operation& op) {
+    const auto& slice_axes = op.attrs().Get<AxesPerDim>("axes_per_dim");
+    if (AllEmpty(slice_axes)) {
+      map_[op.result()] = Mapped(op.operand(0));
+      ++rewrites_;
+      return true;
+    }
+    const Operation* def = op.operand(0)->def();
+    // Pattern: all_slice(all_reduce(y)) with sliced axes among the reduced
+    // axes -> reduce_scatter (+ residual all_reduce for leftover axes).
+    if (def != nullptr && def->kind() == OpKind::kAllReduce) {
+      auto reduce_axes = def->attrs().Get<std::vector<std::string>>("axes");
+      const std::string& reduction =
+          def->attrs().Get<std::string>("reduction");
+      std::map<std::string, int64_t> sliced = AxisDims(slice_axes);
+      bool subset = true;
+      for (const auto& [axis, dim] : sliced) {
+        if (std::find(reduce_axes.begin(), reduce_axes.end(), axis) ==
+            reduce_axes.end()) {
+          subset = false;
+        }
+      }
+      if (subset) {
+        Value* y = Mapped(def->operand(0));
+        Value* rs = builder_.ReduceScatter(y, slice_axes, reduction);
+        std::vector<std::string> leftover;
+        for (const std::string& axis : reduce_axes) {
+          if (!sliced.count(axis)) leftover.push_back(axis);
+        }
+        if (!leftover.empty()) {
+          rs = builder_.AllReduce(rs, leftover, reduction);
+        }
+        map_[op.result()] = rs;
+        ++rewrites_;
+        return true;
+      }
+    }
+    // Pattern: all_slice(all_gather(y)): cancel matching axes; axes present
+    // in both on different dims become all_to_all.
+    if (def != nullptr && def->kind() == OpKind::kAllGather) {
+      auto gather = AxisDims(def->attrs().Get<AxesPerDim>("axes_per_dim"));
+      auto slice = AxisDims(slice_axes);
+      std::vector<std::string> cancel;
+      std::vector<std::string> moved;
+      for (const auto& [axis, dim] : slice) {
+        auto it = gather.find(axis);
+        if (it == gather.end()) continue;
+        (it->second == dim ? cancel : moved).push_back(axis);
+      }
+      if (!cancel.empty() || !moved.empty()) {
+        Value* y = Mapped(def->operand(0));
+        int rank = y->tensor_type().rank();
+        // Axes moving dims: all_to_all directly on y.
+        for (const std::string& axis : moved) {
+          y = builder_.AllToAll(y, /*slice_dim=*/slice[axis],
+                                /*concat_dim=*/gather[axis], {axis});
+        }
+        // Residual gather (gathered axes not re-sliced).
+        AxesPerDim residual_gather(rank);
+        bool any_gather = false;
+        for (const auto& [axis, dim] : gather) {
+          if (slice.count(axis)) continue;
+          residual_gather[dim].push_back(axis);
+          any_gather = true;
+        }
+        if (any_gather) y = builder_.AllGather(y, residual_gather);
+        // Residual slice (sliced axes that were not gathered).
+        AxesPerDim residual_slice(y->tensor_type().rank());
+        bool any_slice = false;
+        for (const auto& [axis, dim] : slice) {
+          if (gather.count(axis)) continue;
+          residual_slice[dim].push_back(axis);
+          any_slice = true;
+        }
+        if (any_slice) y = builder_.AllSlice(y, residual_slice);
+        map_[op.result()] = y;
+        ++rewrites_;
+        return true;
+      }
+    }
+    // Pattern: all_slice(splat constant | iota) -> local constant.
+    if (def != nullptr && def->kind() == OpKind::kConstant &&
+        def->attrs().Has("splat")) {
+      Value* local = builder_.Constant(
+          def->attrs().Get<double>("splat"),
+          op.result()->tensor_type().dims(),
+          op.result()->tensor_type().dtype());
+      map_[op.result()] = local;
+      ++rewrites_;
+      return true;
+    }
+    if (def != nullptr && def->kind() == OpKind::kIota) {
+      int64_t iota_dim = def->attrs().Get<int64_t>("dim");
+      if (slice_axes[iota_dim].empty()) {
+        Value* local = builder_.Iota(op.result()->tensor_type().dims(),
+                                     iota_dim,
+                                     op.result()->tensor_type().dtype());
+        map_[op.result()] = local;
+        ++rewrites_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool RewriteAllGather(const Operation& op) {
+    const auto& gather_axes = op.attrs().Get<AxesPerDim>("axes_per_dim");
+    if (AllEmpty(gather_axes)) {
+      map_[op.result()] = Mapped(op.operand(0));
+      ++rewrites_;
+      return true;
+    }
+    const Operation* def = op.operand(0)->def();
+    // Pattern: all_gather(all_slice(y)) with identical axes/dims -> y.
+    if (def != nullptr && def->kind() == OpKind::kAllSlice) {
+      auto slice = AxisDims(def->attrs().Get<AxesPerDim>("axes_per_dim"));
+      auto gather = AxisDims(gather_axes);
+      if (slice == gather) {
+        map_[op.result()] = Mapped(def->operand(0));
+        ++rewrites_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  SpmdModule& spmd_;
+  OpBuilder builder_{nullptr};
+  std::map<const Value*, Value*> map_;
+  std::map<const Value*, int64_t> uses_;
+  std::map<std::string, Value*> slice_cse_;
+  int64_t rewrites_ = 0;
+};
+
+}  // namespace
+
+int64_t OptimizeSpmd(SpmdModule& spmd) {
+  int64_t total = 0;
+  for (int iteration = 0; iteration < 8; ++iteration) {
+    int64_t rewrites = Peephole(spmd).RunOnce();
+    total += rewrites;
+    if (rewrites == 0) break;
+  }
+  return total;
+}
+
+std::string CollectiveStats::ToString() const {
+  return StrCat("AG=", all_gather, " AR=", all_reduce, " RS=", reduce_scatter,
+                " A2A=", all_to_all);
+}
+
+CollectiveStats CountCollectives(const Module& module, const Mesh& mesh) {
+  CollectiveStats stats;
+  for (const auto& func : module.funcs()) {
+    WalkOps(func->body(), [&](const Operation& op) {
+      int64_t out_bytes = op.num_results() == 1 && op.result()->type().IsTensor()
+                              ? op.result()->tensor_type().ByteSize()
+                              : 0;
+      int64_t in_bytes =
+          op.num_operands() >= 1 && op.operand(0)->type().IsTensor()
+              ? op.operand(0)->tensor_type().ByteSize()
+              : 0;
+      auto group_size = [&](const std::vector<std::string>& axes) {
+        int64_t n = 1;
+        for (const std::string& axis : axes) n *= mesh.AxisSize(axis);
+        return n;
+      };
+      auto flatten = [](const AxesPerDim& axes) {
+        std::vector<std::string> flat;
+        for (const auto& list : axes) {
+          flat.insert(flat.end(), list.begin(), list.end());
+        }
+        return flat;
+      };
+      switch (op.kind()) {
+        case OpKind::kAllGather: {
+          ++stats.all_gather;
+          int64_t n = group_size(
+              flatten(op.attrs().Get<AxesPerDim>("axes_per_dim")));
+          // Ring all-gather: (n-1)/n of the *result* passes each link.
+          stats.comm_bytes +=
+              static_cast<double>(out_bytes) * (n - 1) / std::max<int64_t>(n, 1);
+          break;
+        }
+        case OpKind::kAllReduce: {
+          ++stats.all_reduce;
+          int64_t n = group_size(
+              op.attrs().Get<std::vector<std::string>>("axes"));
+          // Ring all-reduce: 2(n-1)/n of the buffer.
+          stats.comm_bytes += 2.0 * static_cast<double>(in_bytes) * (n - 1) /
+                              std::max<int64_t>(n, 1);
+          break;
+        }
+        case OpKind::kReduceScatter: {
+          ++stats.reduce_scatter;
+          int64_t n = group_size(
+              flatten(op.attrs().Get<AxesPerDim>("axes_per_dim")));
+          stats.comm_bytes += static_cast<double>(in_bytes) * (n - 1) /
+                              std::max<int64_t>(n, 1);
+          break;
+        }
+        case OpKind::kAllToAll: {
+          ++stats.all_to_all;
+          int64_t n = group_size(
+              op.attrs().Get<std::vector<std::string>>("axes"));
+          stats.comm_bytes += static_cast<double>(in_bytes) * (n - 1) /
+                              std::max<int64_t>(n, 1);
+          break;
+        }
+        case OpKind::kAllSlice:
+          ++stats.all_slice;
+          break;
+        default:
+          break;
+      }
+    });
+  }
+  return stats;
+}
+
+}  // namespace partir

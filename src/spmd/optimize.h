@@ -1,0 +1,44 @@
+/**
+ * @file
+ * SPMD-level collective optimizations (Section 6):
+ *   - all_reduce followed by all_slice on reduced axes  -> reduce_scatter
+ *   - all_gather + all_slice of the same axes           -> cancel / all_to_all
+ *   - all_slice of splat constants / iota               -> local constants
+ *   - no-op collectives (empty axes)                    -> removed
+ * plus dead-code elimination. Collective counts (Table 3) and cost estimates
+ * are taken after this pass, as in the paper.
+ */
+#ifndef PARTIR_SPMD_OPTIMIZE_H_
+#define PARTIR_SPMD_OPTIMIZE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/mesh/mesh.h"
+#include "src/spmd/lowering.h"
+
+namespace partir {
+
+/** Optimizes the SPMD module in place. Returns number of rewrites applied. */
+int64_t OptimizeSpmd(SpmdModule& spmd);
+
+/** Collective-communication counts of a module (the rows of Table 3). */
+struct CollectiveStats {
+  int64_t all_gather = 0;
+  int64_t all_reduce = 0;
+  int64_t reduce_scatter = 0;
+  int64_t all_to_all = 0;
+  int64_t all_slice = 0;  // communication-free, reported for completeness
+
+  /** Bytes moved per device, using ring-collective cost factors. */
+  double comm_bytes = 0;
+
+  std::string ToString() const;
+};
+
+/** Counts collectives (and per-device communication bytes) in a module. */
+CollectiveStats CountCollectives(const Module& module, const Mesh& mesh);
+
+}  // namespace partir
+
+#endif  // PARTIR_SPMD_OPTIMIZE_H_

@@ -1,0 +1,308 @@
+#include "src/spmd/spmd_interpreter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "src/interp/interpreter.h"
+
+namespace partir {
+namespace {
+
+// Linear index of `device`'s coordinates along `axes` (first axis major).
+int64_t GroupPosition(const Mesh& mesh, int64_t device,
+                      const std::vector<std::string>& axes) {
+  std::vector<int64_t> coords = mesh.Coordinates(device);
+  int64_t position = 0;
+  for (const std::string& axis : axes) {
+    int index = mesh.AxisIndex(axis);
+    position = position * mesh.AxisSize(axis) + coords[index];
+  }
+  return position;
+}
+
+// The peer of `device` whose coordinates along `axes` encode `position`.
+int64_t PeerAt(const Mesh& mesh, int64_t device,
+               const std::vector<std::string>& axes, int64_t position) {
+  std::vector<int64_t> coords = mesh.Coordinates(device);
+  for (int i = static_cast<int>(axes.size()) - 1; i >= 0; --i) {
+    int index = mesh.AxisIndex(axes[i]);
+    coords[index] = position % mesh.AxisSize(axes[i]);
+    position /= mesh.AxisSize(axes[i]);
+  }
+  return mesh.DeviceId(coords);
+}
+
+int64_t GroupSize(const Mesh& mesh, const std::vector<std::string>& axes) {
+  int64_t n = 1;
+  for (const std::string& axis : axes) n *= mesh.AxisSize(axis);
+  return n;
+}
+
+class SpmdRunner {
+ public:
+  SpmdRunner(const SpmdModule& spmd) : spmd_(spmd) {
+    envs_.resize(spmd_.mesh.NumDevices());
+  }
+
+  std::vector<Tensor> Run(const std::vector<Tensor>& global_inputs) {
+    const Func& func = *spmd_.main();
+    int64_t num_devices = spmd_.mesh.NumDevices();
+    PARTIR_CHECK(static_cast<int>(global_inputs.size()) ==
+                 func.body().num_args())
+        << "spmd input arity mismatch";
+
+    for (int i = 0; i < func.body().num_args(); ++i) {
+      PerDevice shards = ShardTensor(global_inputs[i],
+                                     spmd_.input_shardings[i], spmd_.mesh);
+      for (int64_t d = 0; d < num_devices; ++d) {
+        PARTIR_CHECK(shards[d].dims() ==
+                     func.body().arg(i)->tensor_type().dims())
+            << "sharded input " << i << " does not match local arg type";
+        envs_[d][func.body().arg(i)] = shards[d];
+      }
+    }
+
+    for (const auto& op : func.body().ops()) {
+      if (op->kind() == OpKind::kReturn) {
+        std::vector<Tensor> outputs;
+        for (size_t i = 0; i < op->operands().size(); ++i) {
+          PerDevice shards(num_devices);
+          for (int64_t d = 0; d < num_devices; ++d) {
+            shards[d] = envs_[d].at(op->operand(i));
+          }
+          outputs.push_back(UnshardTensor(
+              shards, spmd_.output_shardings[i], spmd_.mesh));
+        }
+        return outputs;
+      }
+      Execute(*op);
+    }
+    PARTIR_UNREACHABLE("spmd function has no return");
+  }
+
+ private:
+  PerDevice OperandOnAll(const Operation& op, int index) {
+    PerDevice values(envs_.size());
+    for (size_t d = 0; d < envs_.size(); ++d) {
+      values[d] = envs_[d].at(op.operand(index));
+    }
+    return values;
+  }
+
+  void BindAll(const Operation& op, PerDevice values) {
+    for (size_t d = 0; d < envs_.size(); ++d) {
+      envs_[d][op.result()] = std::move(values[d]);
+    }
+  }
+
+  void Execute(const Operation& op) {
+    switch (op.kind()) {
+      case OpKind::kAllSlice: {
+        PerDevice in = OperandOnAll(op, 0);
+        const auto& axes = op.attrs().Get<AxesPerDim>("axes_per_dim");
+        PerDevice out(in.size());
+        for (size_t d = 0; d < in.size(); ++d) {
+          out[d] = LocalSlice(in[d], axes, static_cast<int64_t>(d));
+        }
+        BindAll(op, std::move(out));
+        return;
+      }
+      case OpKind::kAllGather: {
+        PerDevice in = OperandOnAll(op, 0);
+        const auto& axes = op.attrs().Get<AxesPerDim>("axes_per_dim");
+        BindAll(op, Gather(in, axes));
+        return;
+      }
+      case OpKind::kAllReduce: {
+        PerDevice in = OperandOnAll(op, 0);
+        const auto& axes = op.attrs().Get<std::vector<std::string>>("axes");
+        bool is_max = op.attrs().Get<std::string>("reduction") == "max";
+        BindAll(op, Reduce(in, axes, is_max));
+        return;
+      }
+      case OpKind::kReduceScatter: {
+        PerDevice in = OperandOnAll(op, 0);
+        const auto& axes = op.attrs().Get<AxesPerDim>("axes_per_dim");
+        bool is_max = op.attrs().Get<std::string>("reduction") == "max";
+        std::vector<std::string> flat;
+        for (const auto& list : axes) {
+          flat.insert(flat.end(), list.begin(), list.end());
+        }
+        PerDevice reduced = Reduce(in, flat, is_max);
+        PerDevice out(in.size());
+        for (size_t d = 0; d < in.size(); ++d) {
+          out[d] = LocalSlice(reduced[d], axes, static_cast<int64_t>(d));
+        }
+        BindAll(op, std::move(out));
+        return;
+      }
+      case OpKind::kAllToAll: {
+        PerDevice in = OperandOnAll(op, 0);
+        int64_t slice_dim = op.attrs().Get<int64_t>("slice_dim");
+        int64_t concat_dim = op.attrs().Get<int64_t>("concat_dim");
+        const auto& axes = op.attrs().Get<std::vector<std::string>>("axes");
+        int64_t n = GroupSize(spmd_.mesh, axes);
+        PerDevice out(in.size());
+        for (size_t d = 0; d < in.size(); ++d) {
+          int64_t me = GroupPosition(spmd_.mesh, d, axes);
+          std::vector<Tensor> chunks;
+          for (int64_t j = 0; j < n; ++j) {
+            int64_t peer = PeerAt(spmd_.mesh, d, axes, j);
+            chunks.push_back(in[peer].SliceChunk(slice_dim, me, n));
+          }
+          out[d] = Tensor::Concat(chunks, concat_dim);
+        }
+        BindAll(op, std::move(out));
+        return;
+      }
+      default: {
+        // Device-local computation: run the reference evaluator per device.
+        for (size_t d = 0; d < envs_.size(); ++d) {
+          std::vector<Tensor> operands;
+          for (const Value* operand : op.operands()) {
+            operands.push_back(envs_[d].at(operand));
+          }
+          std::vector<Tensor> results = EvalOp(op, operands);
+          for (int i = 0; i < op.num_results(); ++i) {
+            envs_[d][op.result(i)] = std::move(results[i]);
+          }
+        }
+        return;
+      }
+    }
+  }
+
+  // Device-local slice: successively take this device's chunk of each dim.
+  Tensor LocalSlice(const Tensor& value, const AxesPerDim& axes,
+                    int64_t device) {
+    Tensor out = value;
+    std::vector<int64_t> coords = spmd_.mesh.Coordinates(device);
+    for (size_t dim = 0; dim < axes.size(); ++dim) {
+      for (const std::string& axis : axes[dim]) {
+        int64_t size = spmd_.mesh.AxisSize(axis);
+        int64_t chunk = coords[spmd_.mesh.AxisIndex(axis)];
+        out = out.SliceChunk(static_cast<int64_t>(dim), chunk, size);
+      }
+    }
+    return out;
+  }
+
+  // All-gather: for each dim (outer axis first), concatenate peers' chunks.
+  PerDevice Gather(const PerDevice& in, const AxesPerDim& axes) {
+    PerDevice current = in;
+    for (size_t dim = 0; dim < axes.size(); ++dim) {
+      // Gather the innermost axis of the dim first so that the result ends
+      // up ordered with the first-listed axis outermost.
+      for (auto it = axes[dim].rbegin(); it != axes[dim].rend(); ++it) {
+        const std::string& axis = *it;
+        int64_t n = spmd_.mesh.AxisSize(axis);
+        PerDevice next(current.size());
+        for (size_t d = 0; d < current.size(); ++d) {
+          std::vector<Tensor> chunks;
+          for (int64_t j = 0; j < n; ++j) {
+            int64_t peer = PeerAt(spmd_.mesh, d, {axis}, j);
+            chunks.push_back(current[peer]);
+          }
+          next[d] = Tensor::Concat(chunks, static_cast<int64_t>(dim));
+        }
+        current = std::move(next);
+      }
+    }
+    return current;
+  }
+
+  PerDevice Reduce(const PerDevice& in, const std::vector<std::string>& axes,
+                   bool is_max) {
+    int64_t n = GroupSize(spmd_.mesh, axes);
+    PerDevice out(in.size());
+    for (size_t d = 0; d < in.size(); ++d) {
+      Tensor acc = in[PeerAt(spmd_.mesh, d, axes, 0)];
+      for (int64_t j = 1; j < n; ++j) {
+        int64_t peer = PeerAt(spmd_.mesh, d, axes, j);
+        acc = Tensor::Combine(acc, in[peer], [is_max](float a, float b) {
+          return is_max ? std::max(a, b) : a + b;
+        });
+      }
+      out[d] = std::move(acc);
+    }
+    return out;
+  }
+
+  const SpmdModule& spmd_;
+  std::vector<Env> envs_;
+};
+
+}  // namespace
+
+PerDevice ShardTensor(const Tensor& global, const ValueSharding& sharding,
+                      const Mesh& mesh) {
+  int64_t num_devices = mesh.NumDevices();
+  PerDevice shards(num_devices);
+  for (int64_t d = 0; d < num_devices; ++d) {
+    Tensor local = global;
+    std::vector<int64_t> coords = mesh.Coordinates(d);
+    for (size_t dim = 0; dim < sharding.axes.size(); ++dim) {
+      for (const std::string& axis : sharding.axes[dim]) {
+        local = local.SliceChunk(static_cast<int64_t>(dim),
+                                 coords[mesh.AxisIndex(axis)],
+                                 mesh.AxisSize(axis));
+      }
+    }
+    shards[d] = std::move(local);
+  }
+  return shards;
+}
+
+Tensor UnshardTensor(const PerDevice& shards, const ValueSharding& sharding,
+                     const Mesh& mesh) {
+  // Reconstruct the global tensor by walking every device's shard into its
+  // global offset; devices holding the same chunk (replicas) must agree.
+  std::vector<int64_t> global_dims = shards[0].dims();
+  for (size_t dim = 0; dim < sharding.axes.size(); ++dim) {
+    for (const std::string& axis : sharding.axes[dim]) {
+      global_dims[dim] *= mesh.AxisSize(axis);
+    }
+  }
+  Tensor global(global_dims);
+  Tensor written(global_dims, -1.0f);  // -1 = unwritten sentinel
+  const std::vector<int64_t>& local_dims = shards[0].dims();
+  for (int64_t d = 0; d < mesh.NumDevices(); ++d) {
+    std::vector<int64_t> coords = mesh.Coordinates(d);
+    // Offset of this device's shard in the global tensor (first listed
+    // axis outermost, matching all_slice's successive chunking).
+    std::vector<int64_t> offsets(global_dims.size(), 0);
+    for (size_t dim = 0; dim < sharding.axes.size(); ++dim) {
+      int64_t chunk = 0;
+      for (const std::string& axis : sharding.axes[dim]) {
+        chunk = chunk * mesh.AxisSize(axis) + coords[mesh.AxisIndex(axis)];
+      }
+      offsets[dim] = chunk * local_dims[dim];
+    }
+    ForEachIndex(local_dims, [&](const std::vector<int64_t>& index) {
+      std::vector<int64_t> gindex = index;
+      for (size_t i = 0; i < gindex.size(); ++i) gindex[i] += offsets[i];
+      float value = shards[d].Get(index);
+      if (written.Get(gindex) >= 0.0f) {
+        float existing = global.Get(gindex);
+        float tolerance =
+            1e-3f * std::max(1.0f, std::max(std::abs(existing),
+                                            std::abs(value)));
+        bool both_nan = std::isnan(existing) && std::isnan(value);
+        PARTIR_CHECK(both_nan || std::abs(existing - value) <= tolerance)
+            << "replica mismatch at device " << d << ": " << existing
+            << " vs " << value;
+      }
+      global.Set(gindex, value);
+      written.Set(gindex, 1.0f);
+    });
+  }
+  return global;
+}
+
+std::vector<Tensor> RunSpmd(const SpmdModule& spmd,
+                            const std::vector<Tensor>& global_inputs) {
+  return SpmdRunner(spmd).Run(global_inputs);
+}
+
+}  // namespace partir

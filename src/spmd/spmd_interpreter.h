@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Multi-device SPMD interpreter: executes the device-local program on every
+ * device of the mesh with real collective semantics (slice / gather /
+ * reduce / reduce-scatter / all-to-all across mesh-axis groups). Together
+ * with the sharding/unsharding helpers this provides the executable
+ * counterpart of the paper's Appendix C correctness theorem: partitioned
+ * program + collectives == unpartitioned program.
+ */
+#ifndef PARTIR_SPMD_SPMD_INTERPRETER_H_
+#define PARTIR_SPMD_SPMD_INTERPRETER_H_
+
+#include <vector>
+
+#include "src/interp/tensor.h"
+#include "src/spmd/lowering.h"
+
+namespace partir {
+
+/** Per-device tensors, indexed by linear device id. */
+using PerDevice = std::vector<Tensor>;
+
+/** Slices a global tensor into per-device shards per the sharding. */
+PerDevice ShardTensor(const Tensor& global, const ValueSharding& sharding,
+                      const Mesh& mesh);
+
+/**
+ * Reassembles a global tensor from per-device shards; checks that devices
+ * holding the same shard agree (replica consistency).
+ */
+Tensor UnshardTensor(const PerDevice& shards, const ValueSharding& sharding,
+                     const Mesh& mesh);
+
+/**
+ * Runs the SPMD program on all devices. `inputs[i]` are the *global* input
+ * tensors; they are sharded per the module's input shardings. Returns the
+ * *global* outputs, reassembled per the output shardings.
+ */
+std::vector<Tensor> RunSpmd(const SpmdModule& spmd,
+                            const std::vector<Tensor>& global_inputs);
+
+}  // namespace partir
+
+#endif  // PARTIR_SPMD_SPMD_INTERPRETER_H_

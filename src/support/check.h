@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Internal-invariant and user-error checking macros.
+ *
+ * Follows the gem5 panic()/fatal() split: PARTIR_CHECK aborts on violated
+ * internal invariants (a bug in this library), while partir::Fatal reports
+ * unrecoverable *user* errors (bad schedule, invalid mesh) and exits cleanly.
+ */
+#ifndef PARTIR_SUPPORT_CHECK_H_
+#define PARTIR_SUPPORT_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace partir {
+
+/** Stream-collecting helper that aborts (or exits) when destroyed. */
+class FatalStream {
+ public:
+  FatalStream(const char* kind, const char* file, int line, bool abort_process)
+      : abort_process_(abort_process) {
+    stream_ << kind << " at " << file << ":" << line << ": ";
+  }
+
+  [[noreturn]] ~FatalStream() {
+    std::cerr << stream_.str() << std::endl;
+    if (abort_process_) std::abort();
+    std::exit(1);
+  }
+
+  template <typename T>
+  FatalStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+  bool abort_process_;
+};
+
+/** Discards a FatalStream at the end of a CHECK expression. */
+struct Voidifier {
+  void operator&(const FatalStream&) const {}
+};
+
+}  // namespace partir
+
+/** Abort on violated internal invariant (library bug). */
+#define PARTIR_CHECK(cond)                                                  \
+  (cond) ? (void)0                                                          \
+         : ::partir::Voidifier() &                                          \
+               ::partir::FatalStream("PARTIR_CHECK(" #cond ") failed",      \
+                                     __FILE__, __LINE__,                    \
+                                     /*abort_process=*/true)
+
+/** Report an unrecoverable user error (bad input) and exit. */
+#define PARTIR_FATAL()                                                 \
+  ::partir::FatalStream("fatal error", __FILE__, __LINE__,             \
+                        /*abort_process=*/false)
+
+/** Abort: unreachable code path reached. */
+#define PARTIR_UNREACHABLE(msg)                                        \
+  ::partir::FatalStream("unreachable", __FILE__, __LINE__,             \
+                        /*abort_process=*/true)                        \
+      << msg
+
+#endif  // PARTIR_SUPPORT_CHECK_H_

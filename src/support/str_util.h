@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Small string utilities used throughout the compiler (join, cat, printf-less
+ * formatting of shape/axis lists).
+ */
+#ifndef PARTIR_SUPPORT_STR_UTIL_H_
+#define PARTIR_SUPPORT_STR_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace partir {
+
+/** Appends the textual form of each argument to a string. */
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+/** Joins container elements with a separator, using operator<<. */
+template <typename Container>
+std::string StrJoin(const Container& items, const std::string& sep) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) os << sep;
+    os << item;
+    first = false;
+  }
+  return os.str();
+}
+
+/** Joins container elements with a separator, formatting each with fn. */
+template <typename Container, typename Fn>
+std::string StrJoin(const Container& items, const std::string& sep, Fn fn) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) os << sep;
+    os << fn(item);
+    first = false;
+  }
+  return os.str();
+}
+
+}  // namespace partir
+
+#endif  // PARTIR_SUPPORT_STR_UTIL_H_

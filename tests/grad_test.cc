@@ -1,0 +1,314 @@
+// Numeric gradient checks for the reverse-mode autodiff substrate, plus an
+// end-to-end Adam training-step test (loss decreases).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/autodiff/grad.h"
+#include "src/interp/interpreter.h"
+#include "src/ir/builder.h"
+#include "src/ir/verifier.h"
+
+namespace partir {
+namespace {
+
+// Central-difference gradient check of d(output0)/d(arg wrt) for a scalar-
+// output function.
+void CheckGradient(const Func& fwd, Module& module, int wrt, uint64_t seed,
+                   float index_modulus = 0.0f, float tolerance = 2e-2f) {
+  Func* grad_fn = BuildGradFunc(fwd, module, StrCat("grad_", wrt), {wrt});
+  VerifyOrDie(module);
+  std::vector<Tensor> inputs = MakeRandomInputs(fwd, seed, index_modulus);
+  std::vector<Tensor> outputs = Evaluate(*grad_fn, inputs);
+  const Tensor& analytic = outputs.back();
+
+  const float epsilon = 1e-2f;
+  Tensor arg = inputs[wrt];
+  int64_t checks = std::min<int64_t>(arg.size(), 16);
+  for (int64_t i = 0; i < checks; ++i) {
+    std::vector<Tensor> plus = inputs;
+    std::vector<Tensor> minus = inputs;
+    plus[wrt].at(i) += epsilon;
+    minus[wrt].at(i) -= epsilon;
+    float f_plus = Evaluate(fwd, plus)[0].at(0);
+    float f_minus = Evaluate(fwd, minus)[0].at(0);
+    float numeric = (f_plus - f_minus) / (2 * epsilon);
+    EXPECT_NEAR(analytic.at(i), numeric,
+                tolerance * std::max(1.0f, std::fabs(numeric)))
+        << "grad element " << i << " of arg " << wrt;
+  }
+}
+
+TEST(GradTest, MatMulLhsAndRhs) {
+  Module module;
+  Func* func = module.AddFunc("f");
+  Value* x = func->body().AddArg(TensorType({4, 3}), "x");
+  Value* w = func->body().AddArg(TensorType({3, 5}), "w");
+  OpBuilder builder(&func->body());
+  Value* y = builder.MatMul(x, w);
+  Value* loss = builder.Reduce(builder.Mul(y, y), {0, 1}, "sum");
+  builder.Return({loss});
+  CheckGradient(*func, module, 0, 1);
+  CheckGradient(*func, module, 1, 2);
+}
+
+TEST(GradTest, BatchedDot) {
+  Module module;
+  Func* func = module.AddFunc("f");
+  Value* a = func->body().AddArg(TensorType({2, 3, 4}), "a");
+  Value* b = func->body().AddArg(TensorType({2, 4, 3}), "b");
+  OpBuilder builder(&func->body());
+  Value* y = builder.Dot(a, b, {2}, {1}, {0}, {0});
+  Value* loss = builder.Reduce(y, {0, 1, 2}, "sum");
+  builder.Return({loss});
+  CheckGradient(*func, module, 0, 3);
+  CheckGradient(*func, module, 1, 4);
+}
+
+TEST(GradTest, DotContractingFirstDim) {
+  // Exercises the transpose logic in the dot VJP: contract lhs dim 0.
+  Module module;
+  Func* func = module.AddFunc("f");
+  Value* a = func->body().AddArg(TensorType({3, 4}), "a");
+  Value* b = func->body().AddArg(TensorType({3, 5}), "b");
+  OpBuilder builder(&func->body());
+  Value* y = builder.Dot(a, b, {0}, {0});  // result 4x5
+  Value* loss = builder.Reduce(builder.Mul(y, y), {0, 1}, "sum");
+  builder.Return({loss});
+  CheckGradient(*func, module, 0, 5);
+  CheckGradient(*func, module, 1, 6);
+}
+
+TEST(GradTest, ElementwiseChain) {
+  Module module;
+  Func* func = module.AddFunc("f");
+  Value* x = func->body().AddArg(TensorType({6}), "x");
+  OpBuilder builder(&func->body());
+  Value* h = builder.Tanh(builder.MulScalar(x, 0.7));
+  Value* e = builder.Exp(builder.MulScalar(h, 0.3));
+  Value* s = builder.Logistic(e);
+  Value* loss = builder.Reduce(s, {0}, "sum");
+  builder.Return({loss});
+  CheckGradient(*func, module, 0, 7);
+}
+
+TEST(GradTest, DivRsqrtSqrt) {
+  Module module;
+  Func* func = module.AddFunc("f");
+  Value* x = func->body().AddArg(TensorType({5}), "x");
+  OpBuilder builder(&func->body());
+  Value* pos = builder.AddScalar(builder.Mul(x, x), 1.0);  // > 0
+  Value* r = builder.Rsqrt(pos);
+  Value* q = builder.Sqrt(pos);
+  Value* d = builder.Div(r, q);
+  Value* loss = builder.Reduce(d, {0}, "sum");
+  builder.Return({loss});
+  CheckGradient(*func, module, 0, 8);
+}
+
+TEST(GradTest, SoftmaxIsExactDespiteMaxStopGrad) {
+  Module module;
+  Func* func = module.AddFunc("f");
+  Value* x = func->body().AddArg(TensorType({3, 5}), "x");
+  OpBuilder builder(&func->body());
+  Value* p = builder.Softmax(x);
+  // Weighted sum to give a non-trivial gradient.
+  Value* w = builder.Iota({3, 5}, 1, DType::kF32);
+  Value* loss = builder.Reduce(builder.Mul(p, w), {0, 1}, "sum");
+  builder.Return({loss});
+  CheckGradient(*func, module, 0, 9);
+}
+
+TEST(GradTest, RmsNormGradient) {
+  Module module;
+  Func* func = module.AddFunc("f");
+  Value* x = func->body().AddArg(TensorType({4, 8}), "x");
+  Value* scale = func->body().AddArg(TensorType({8}), "scale");
+  OpBuilder builder(&func->body());
+  Value* normed = builder.RmsNorm(x, scale);
+  Value* loss = builder.Reduce(builder.Mul(normed, normed), {0, 1}, "sum");
+  builder.Return({loss});
+  CheckGradient(*func, module, 0, 10);
+  CheckGradient(*func, module, 1, 11);
+}
+
+TEST(GradTest, BroadcastAndReduce) {
+  Module module;
+  Func* func = module.AddFunc("f");
+  Value* bias = func->body().AddArg(TensorType({5}), "bias");
+  Value* x = func->body().AddArg(TensorType({4, 5}), "x");
+  OpBuilder builder(&func->body());
+  Value* xb = builder.Add(x, builder.BroadcastInDim(bias, {4, 5}, {1}));
+  Value* loss = builder.Reduce(builder.Mul(xb, xb), {0, 1}, "sum");
+  builder.Return({loss});
+  CheckGradient(*func, module, 0, 12);
+}
+
+TEST(GradTest, ConcatenateSplitsGradient) {
+  Module module;
+  Func* func = module.AddFunc("f");
+  Value* a = func->body().AddArg(TensorType({2, 3}), "a");
+  Value* b = func->body().AddArg(TensorType({2, 2}), "b");
+  OpBuilder builder(&func->body());
+  Value* c = builder.Concatenate({a, b}, 1);
+  Value* loss = builder.Reduce(builder.Mul(c, c), {0, 1}, "sum");
+  builder.Return({loss});
+  CheckGradient(*func, module, 0, 13);
+  CheckGradient(*func, module, 1, 14);
+}
+
+TEST(GradTest, GatherScatterPair) {
+  Module module;
+  Func* func = module.AddFunc("f");
+  Value* table = func->body().AddArg(TensorType({6, 3}), "table");
+  Value* ids = func->body().AddArg(TensorType({8}, DType::kS32), "ids");
+  OpBuilder builder(&func->body());
+  Value* rows = builder.Gather(table, ids);
+  Value* loss = builder.Reduce(builder.Mul(rows, rows), {0, 1}, "sum");
+  builder.Return({loss});
+  CheckGradient(*func, module, 0, 15, /*index_modulus=*/6.0f);
+}
+
+TEST(GradTest, ScatterAddGradient) {
+  Module module;
+  Func* func = module.AddFunc("f");
+  Value* updates = func->body().AddArg(TensorType({8, 3}), "updates");
+  Value* ids = func->body().AddArg(TensorType({8}, DType::kS32), "ids");
+  OpBuilder builder(&func->body());
+  Value* scattered = builder.ScatterAdd(ids, updates, 5);
+  Value* loss =
+      builder.Reduce(builder.Mul(scattered, scattered), {0, 1}, "sum");
+  builder.Return({loss});
+  CheckGradient(*func, module, 0, 16, /*index_modulus=*/5.0f);
+}
+
+TEST(GradTest, ConvolutionGradients) {
+  Module module;
+  Func* func = module.AddFunc("f");
+  Value* img = func->body().AddArg(TensorType({1, 4, 4, 2}), "img");
+  Value* filter = func->body().AddArg(TensorType({3, 3, 2, 2}), "filter");
+  OpBuilder builder(&func->body());
+  Value* out = builder.Convolution(img, filter);
+  Value* loss = builder.Reduce(builder.Mul(out, out), {0, 1, 2, 3}, "sum");
+  builder.Return({loss});
+  CheckGradient(*func, module, 0, 17);
+  CheckGradient(*func, module, 1, 18);
+}
+
+TEST(GradTest, StridedConvolutionGradients) {
+  Module module;
+  Func* func = module.AddFunc("f");
+  Value* img = func->body().AddArg(TensorType({1, 4, 4, 2}), "img");
+  Value* filter = func->body().AddArg(TensorType({3, 3, 2, 2}), "filter");
+  OpBuilder builder(&func->body());
+  Value* out = builder.Convolution(img, filter, {2, 2});
+  Value* loss = builder.Reduce(builder.Mul(out, out), {0, 1, 2, 3}, "sum");
+  builder.Return({loss});
+  CheckGradient(*func, module, 0, 19);
+  CheckGradient(*func, module, 1, 20);
+}
+
+TEST(GradTest, TransposeGradient) {
+  Module module;
+  Func* func = module.AddFunc("f");
+  Value* x = func->body().AddArg(TensorType({2, 3, 4}), "x");
+  OpBuilder builder(&func->body());
+  Value* t = builder.Transpose(x, {2, 0, 1});
+  Value* loss = builder.Reduce(builder.Mul(t, t), {0, 1, 2}, "sum");
+  builder.Return({loss});
+  CheckGradient(*func, module, 0, 21);
+}
+
+TEST(GradTest, ReshapeGradient) {
+  Module module;
+  Func* func = module.AddFunc("f");
+  Value* x = func->body().AddArg(TensorType({4, 6}), "x");
+  OpBuilder builder(&func->body());
+  Value* r = builder.Reshape(x, {2, 12});
+  Value* loss = builder.Reduce(builder.Mul(r, r), {0, 1}, "sum");
+  builder.Return({loss});
+  CheckGradient(*func, module, 0, 22);
+}
+
+TEST(GradTest, UnusedArgGetsZeroGradient) {
+  Module module;
+  Func* func = module.AddFunc("f");
+  Value* x = func->body().AddArg(TensorType({3}), "x");
+  func->body().AddArg(TensorType({3}), "unused");
+  OpBuilder builder(&func->body());
+  Value* loss = builder.Reduce(x, {0}, "sum");
+  builder.Return({loss});
+  Func* grad_fn = BuildGradFunc(*func, module, "g", {1});
+  auto out = Evaluate(*grad_fn, MakeRandomInputs(*func, 23));
+  EXPECT_EQ(out.back().data(), std::vector<float>({0, 0, 0}));
+}
+
+TEST(TrainingStepTest, AdamReducesLossOnLinearRegression) {
+  // loss(w, b, x, y) = mean((x @ w + b - y)^2).
+  Module module;
+  Func* loss_fn = module.AddFunc("loss");
+  Value* w = loss_fn->body().AddArg(TensorType({4, 1}), "w");
+  Value* b = loss_fn->body().AddArg(TensorType({1}), "b");
+  Value* x = loss_fn->body().AddArg(TensorType({16, 4}), "x");
+  Value* y = loss_fn->body().AddArg(TensorType({16, 1}), "y");
+  OpBuilder builder(&loss_fn->body());
+  Value* pred = builder.MatMul(x, w);
+  Value* predb = builder.Add(pred, builder.BroadcastInDim(b, {16, 1}, {1}));
+  Value* err = builder.Sub(predb, y);
+  Value* loss = builder.Mean(builder.Mul(err, err), {0, 1});
+  builder.Return({loss});
+
+  AdamConfig config;
+  config.learning_rate = 0.05;
+  Func* step = BuildTrainingStep(*loss_fn, module, "train_step", 2, config);
+  VerifyOrDie(module);
+
+  // Targets from a ground-truth linear model so the optimum loss is ~0.
+  Tensor x_data = Tensor::Random({16, 4}, 3);
+  Tensor w_true = Tensor::Random({4, 1}, 5);
+  Tensor y_data({16, 1});
+  for (int i = 0; i < 16; ++i) {
+    float acc = 0.25f;  // true bias
+    for (int k = 0; k < 4; ++k) {
+      acc += x_data.Get({i, k}) * w_true.Get({k, 0});
+    }
+    y_data.Set({i, 0}, acc);
+  }
+  // step args: [w, b, m_w, m_b, v_w, v_b, x, y].
+  std::vector<Tensor> state = {
+      Tensor::Random({4, 1}, 1), Tensor::Random({1}, 2),
+      Tensor({4, 1}), Tensor({1}), Tensor({4, 1}), Tensor({1}),
+      x_data, y_data};
+  float first_loss = -1, last_loss = -1;
+  for (int iteration = 0; iteration < 120; ++iteration) {
+    std::vector<Tensor> out = Evaluate(*step, state);
+    // out: [new_w, new_b, new_m.., new_v.., loss].
+    float loss_now = out.back().at(0);
+    if (iteration == 0) first_loss = loss_now;
+    last_loss = loss_now;
+    for (int i = 0; i < 6; ++i) state[i] = out[i];
+  }
+  EXPECT_LT(last_loss, first_loss * 0.2f)
+      << "Adam failed to reduce the loss: " << first_loss << " -> "
+      << last_loss;
+}
+
+TEST(TrainingStepTest, StepSignatureAndArity) {
+  Module module;
+  Func* loss_fn = module.AddFunc("loss");
+  Value* w = loss_fn->body().AddArg(TensorType({2, 2}), "w");
+  Value* x = loss_fn->body().AddArg(TensorType({2, 2}), "x");
+  OpBuilder builder(&loss_fn->body());
+  Value* y = builder.MatMul(x, w);
+  builder.Return({builder.Reduce(y, {0, 1}, "sum")});
+
+  Func* step = BuildTrainingStep(*loss_fn, module, "step", 1);
+  // Args: w, m, v, x. Results: new_w, new_m, new_v, loss.
+  EXPECT_EQ(step->body().num_args(), 4);
+  EXPECT_EQ(step->results().size(), 4u);
+  EXPECT_EQ(step->body().arg(1)->name(), "opt_m.w");
+  EXPECT_EQ(step->results()[3]->tensor_type().rank(), 0);
+}
+
+}  // namespace
+}  // namespace partir

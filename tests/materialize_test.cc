@@ -1,0 +1,298 @@
+// Semantics-preservation tests: for a spread of programs and tiling actions,
+// the materialized PartIR:Core loop form evaluates (sequentially) to exactly
+// the same result as the unpartitioned program — the executable counterpart
+// of the paper's Figure 4 equivalences and Appendix C theorem.
+#include <gtest/gtest.h>
+
+#include "src/core/context.h"
+#include "src/core/materialize.h"
+#include "src/interp/interpreter.h"
+#include "src/ir/builder.h"
+#include "src/ir/printer.h"
+#include "src/ir/verifier.h"
+
+namespace partir {
+namespace {
+
+constexpr float kTol = 2e-4f;
+
+// Asserts that the loop form of `ctx` is verified and equivalent to the
+// original function on random inputs.
+void ExpectLoopFormEquivalent(PartitionContext& ctx, uint64_t seed,
+                              float index_modulus = 0.0f) {
+  std::unique_ptr<Module> loop_form = MaterializeLoops(ctx);
+  VerifyOrDie(*loop_form);
+  std::vector<Tensor> inputs =
+      MakeRandomInputs(*ctx.func(), seed, index_modulus);
+  std::vector<Tensor> want = Evaluate(*ctx.func(), inputs);
+  std::vector<Tensor> got = Evaluate(*loop_form->main(), inputs);
+  ASSERT_EQ(want.size(), got.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_LT(Tensor::MaxAbsDiff(want[i], got[i]), kTol)
+        << "result " << i << " diverged;\n"
+        << Print(*loop_form);
+  }
+}
+
+struct Chain {
+  Module module;
+  Func* func;
+  Value* x;
+  Value* w1;
+  Value* w2;
+};
+
+Chain BuildChain() {
+  Chain chain;
+  chain.func = chain.module.AddFunc("main");
+  chain.x = chain.func->body().AddArg(TensorType({16, 8}), "x");
+  chain.w1 = chain.func->body().AddArg(TensorType({8, 12}), "w1");
+  chain.w2 = chain.func->body().AddArg(TensorType({12, 8}), "w2");
+  OpBuilder builder(&chain.func->body());
+  Value* x1 = builder.MatMul(chain.x, chain.w1);
+  Value* x2 = builder.MatMul(x1, chain.w2);
+  builder.Return({x2});
+  return chain;
+}
+
+TEST(MaterializeTest, BatchParallelChainMatchesListing7) {
+  Chain chain = BuildChain();
+  PartitionContext ctx(chain.func, Mesh({{"B", 4}, {"M", 2}}));
+  ASSERT_TRUE(ctx.TileValue(chain.x, 0, "B"));
+  ctx.Propagate();
+  std::unique_ptr<Module> loop_form = MaterializeLoops(ctx);
+  std::string text = Print(*loop_form);
+  EXPECT_NE(text.find("loop"), std::string::npos);
+  EXPECT_NE(text.find("slice"), std::string::npos);
+  ExpectLoopFormEquivalent(ctx, 100);
+}
+
+TEST(MaterializeTest, MegatronChainWithSumLoop) {
+  Chain chain = BuildChain();
+  PartitionContext ctx(chain.func, Mesh({{"B", 4}, {"M", 2}}));
+  ASSERT_TRUE(ctx.TileValue(chain.x, 0, "B"));
+  ctx.Propagate();
+  ASSERT_TRUE(ctx.TileValue(chain.w1, 1, "M"));
+  ctx.Propagate();
+  ExpectLoopFormEquivalent(ctx, 101);
+}
+
+TEST(MaterializeTest, FsdpChain) {
+  Chain chain = BuildChain();
+  PartitionContext ctx(chain.func, Mesh({{"B", 4}, {"M", 2}}));
+  ASSERT_TRUE(ctx.TileValue(chain.x, 0, "B"));
+  ctx.Propagate();
+  ASSERT_TRUE(ctx.TileValue(chain.w1, 1, "M"));
+  ctx.Propagate();
+  ASSERT_TRUE(ctx.TileValue(chain.w1, 0, "B"));
+  ASSERT_TRUE(ctx.TileValue(chain.w2, 1, "B"));
+  ctx.Propagate();
+  ExpectLoopFormEquivalent(ctx, 102);
+}
+
+TEST(MaterializeTest, SoftmaxMlp) {
+  Module module;
+  Func* func = module.AddFunc("main");
+  Value* x = func->body().AddArg(TensorType({8, 16}), "x");
+  Value* w = func->body().AddArg(TensorType({16, 12}), "w");
+  OpBuilder builder(&func->body());
+  Value* h = builder.Tanh(builder.MatMul(x, w));
+  Value* p = builder.Softmax(h);
+  builder.Return({p});
+
+  PartitionContext ctx(func, Mesh({{"B", 4}}));
+  ASSERT_TRUE(ctx.TileValue(x, 0, "B"));
+  ctx.Propagate();
+  ExpectLoopFormEquivalent(ctx, 103);
+}
+
+TEST(MaterializeTest, ReduceOverShardedDimBecomesSumLoop) {
+  Module module;
+  Func* func = module.AddFunc("main");
+  Value* x = func->body().AddArg(TensorType({32, 6}), "x");
+  OpBuilder builder(&func->body());
+  Value* r = builder.Reduce(x, {0}, "sum");
+  builder.Return({r});
+
+  PartitionContext ctx(func, Mesh({{"B", 8}}));
+  ASSERT_TRUE(ctx.TileValue(x, 0, "B"));
+  ctx.Propagate();
+  ASSERT_EQ(ctx.nest(r->def()).size(), 1u);
+  EXPECT_TRUE(ctx.nest(r->def())[0].contracting);
+  ExpectLoopFormEquivalent(ctx, 104);
+}
+
+TEST(MaterializeTest, MaxReduceOverShardedDim) {
+  Module module;
+  Func* func = module.AddFunc("main");
+  Value* x = func->body().AddArg(TensorType({32, 6}), "x");
+  OpBuilder builder(&func->body());
+  Value* r = builder.Reduce(x, {0}, "max");
+  builder.Return({r});
+
+  PartitionContext ctx(func, Mesh({{"B", 8}}));
+  ASSERT_TRUE(ctx.TileValue(x, 0, "B"));
+  ctx.Propagate();
+  ExpectLoopFormEquivalent(ctx, 105);
+}
+
+TEST(MaterializeTest, ScatterGatherGraphBlock) {
+  // A GNS-style block: gather node features at edge endpoints, transform,
+  // scatter-add messages back to nodes.
+  Module module;
+  Func* func = module.AddFunc("main");
+  Value* nodes = func->body().AddArg(TensorType({10, 6}), "nodes");
+  Value* senders =
+      func->body().AddArg(TensorType({24}, DType::kS32), "senders");
+  Value* w = func->body().AddArg(TensorType({6, 6}), "w");
+  OpBuilder builder(&func->body());
+  Value* edge_feats = builder.Gather(nodes, senders);
+  Value* messages = builder.Tanh(builder.MatMul(edge_feats, w));
+  Value* aggregated = builder.ScatterAdd(senders, messages, 10);
+  Value* updated = builder.Add(nodes, aggregated);
+  builder.Return({updated});
+
+  PartitionContext ctx(func, Mesh({{"batch", 4}}));
+  ASSERT_TRUE(ctx.TileValue(senders, 0, "batch"));
+  ctx.Propagate();
+  ExpectLoopFormEquivalent(ctx, 106, /*index_modulus=*/10.0f);
+}
+
+TEST(MaterializeTest, ConvolutionBatchAndChannels) {
+  Module module;
+  Func* func = module.AddFunc("main");
+  Value* img = func->body().AddArg(TensorType({8, 6, 6, 4}), "img");
+  Value* f1 = func->body().AddArg(TensorType({3, 3, 4, 8}), "f1");
+  OpBuilder builder(&func->body());
+  Value* h = builder.Convolution(img, f1);
+  builder.Return({h});
+
+  PartitionContext ctx(func, Mesh({{"B", 4}, {"M", 2}}));
+  ASSERT_TRUE(ctx.TileValue(img, 0, "B"));
+  ASSERT_TRUE(ctx.TileValue(f1, 3, "M"));
+  ctx.Propagate();
+  EXPECT_EQ(ctx.nest(h->def()).size(), 2u);
+  ExpectLoopFormEquivalent(ctx, 107);
+}
+
+TEST(MaterializeTest, DeepTilingSameDimTwoAxes) {
+  Module module;
+  Func* func = module.AddFunc("main");
+  Value* x = func->body().AddArg(TensorType({16, 4}), "x");
+  OpBuilder builder(&func->body());
+  Value* y = builder.Exp(x);
+  builder.Return({y});
+
+  PartitionContext ctx(func, Mesh({{"a", 4}, {"b", 2}}));
+  ASSERT_TRUE(ctx.TileValue(x, 0, "a"));
+  ctx.Propagate();
+  ASSERT_TRUE(ctx.TileValue(x, 0, "b"));
+  ctx.Propagate();
+  ExpectLoopFormEquivalent(ctx, 108);
+}
+
+TEST(MaterializeTest, DataConstantIsSlicedNotShrunk) {
+  Module module;
+  Func* func = module.AddFunc("main");
+  Value* x = func->body().AddArg(TensorType({8, 4}), "x");
+  OpBuilder builder(&func->body());
+  std::vector<float> data(32);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<float>(i);
+  Value* c = builder.ConstantData(data, {8, 4});
+  Value* y = builder.Add(x, c);
+  builder.Return({y});
+
+  PartitionContext ctx(func, Mesh({{"B", 4}}));
+  ASSERT_TRUE(ctx.TileValue(x, 0, "B"));
+  ctx.Propagate();
+  ExpectLoopFormEquivalent(ctx, 109);
+}
+
+TEST(MaterializeTest, SplatConstantShrinks) {
+  Module module;
+  Func* func = module.AddFunc("main");
+  Value* x = func->body().AddArg(TensorType({8, 4}), "x");
+  OpBuilder builder(&func->body());
+  Value* y = builder.AddScalar(x, 3.5);
+  builder.Return({y});
+
+  PartitionContext ctx(func, Mesh({{"B", 4}}));
+  ASSERT_TRUE(ctx.TileValue(x, 0, "B"));
+  ctx.Propagate();
+  ExpectLoopFormEquivalent(ctx, 110);
+}
+
+TEST(MaterializeTest, BroadcastNewDimTiled) {
+  Module module;
+  Func* func = module.AddFunc("main");
+  Value* x = func->body().AddArg(TensorType({6}), "x");
+  Value* y = func->body().AddArg(TensorType({8, 6}), "y");
+  OpBuilder builder(&func->body());
+  Value* b = builder.BroadcastInDim(x, {8, 6}, {1});
+  Value* z = builder.Mul(b, y);
+  builder.Return({z});
+
+  PartitionContext ctx(func, Mesh({{"B", 4}}));
+  ASSERT_TRUE(ctx.TileValue(y, 0, "B"));
+  ctx.Propagate();
+  // The broadcast adopts the tiling on its result-only dim 0.
+  EXPECT_EQ(ctx.nest(b->def()).size(), 1u);
+  ExpectLoopFormEquivalent(ctx, 111);
+}
+
+TEST(MaterializeTest, UnpartitionedProgramRoundTrips) {
+  Chain chain = BuildChain();
+  PartitionContext ctx(chain.func, Mesh({{"B", 4}}));
+  ExpectLoopFormEquivalent(ctx, 112);
+}
+
+// Property sweep: a grid of (axis sizes, seed dims) on a two-layer MLP with
+// bias and nonlinearity; every action that applies cleanly must preserve
+// semantics in loop form.
+struct SweepParam {
+  int64_t batch_axis;
+  int64_t model_axis;
+  int seed_dim;  // which value to tile: 0=x@0, 1=w1@1, 2=w2@1
+};
+
+class MaterializeSweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(MaterializeSweepTest, LoopFormPreservesSemantics) {
+  SweepParam param = GetParam();
+  Module module;
+  Func* func = module.AddFunc("main");
+  Value* x = func->body().AddArg(TensorType({16, 8}), "x");
+  Value* w1 = func->body().AddArg(TensorType({8, 16}), "w1");
+  Value* b1 = func->body().AddArg(TensorType({16}), "b1");
+  Value* w2 = func->body().AddArg(TensorType({16, 4}), "w2");
+  OpBuilder builder(&func->body());
+  Value* h = builder.MatMul(x, w1);
+  Value* hb = builder.Add(h, builder.BroadcastInDim(b1, {16, 16}, {1}));
+  Value* a = builder.Tanh(hb);
+  Value* out = builder.MatMul(a, w2);
+  builder.Return({out});
+
+  PartitionContext ctx(
+      func, Mesh({{"B", param.batch_axis}, {"M", param.model_axis}}));
+  bool applied = false;
+  switch (param.seed_dim) {
+    case 0: applied = ctx.TileValue(x, 0, "B"); break;
+    case 1: applied = ctx.TileValue(w1, 1, "M"); break;
+    case 2: applied = ctx.TileValue(w2, 1, "M"); break;
+  }
+  ASSERT_TRUE(applied);
+  ctx.Propagate();
+  ExpectLoopFormEquivalent(ctx, 500 + param.seed_dim);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MaterializeSweepTest,
+    ::testing::Values(SweepParam{2, 2, 0}, SweepParam{4, 2, 0},
+                      SweepParam{8, 2, 0}, SweepParam{16, 2, 0},
+                      SweepParam{2, 2, 1}, SweepParam{2, 4, 1},
+                      SweepParam{2, 8, 1}, SweepParam{2, 16, 1},
+                      SweepParam{2, 2, 2}, SweepParam{2, 4, 2},
+                      SweepParam{4, 4, 1}, SweepParam{4, 4, 2}));
+
+}  // namespace
+}  // namespace partir
