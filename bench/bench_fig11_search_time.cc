@@ -4,8 +4,6 @@
 // acceptable range relative to training times.
 #include "bench/bench_util.h"
 
-#include "src/autopart/mcts.h"
-
 namespace partir {
 namespace {
 
@@ -13,18 +11,20 @@ using bench::Fmt;
 using bench::PrintHeader;
 using bench::PrintRow;
 
-void RunSearch(const std::string& model, Func* step,
+void RunSearch(const std::string& model, Program& step,
                std::vector<std::string> axes, int simulations) {
   Mesh mesh({{"batch", 8}, {"model", 4}});
-  PartitionContext ctx(step, mesh);
-  AutoOptions options;
-  options.simulations = simulations;
-  options.max_actions = 4;
-  AutoResult result = AutomaticallyPartition(ctx, axes, options);
-  PrintRow({model, StrCat(axes.size()), StrCat(simulations),
-            StrCat(result.evaluations),
-            Fmt(result.search_seconds, "%.2f s"),
-            Fmt(result.est_step_seconds * 1e3, "%.3f ms")});
+  AutomaticPartition tactic;
+  tactic.name = "auto";
+  tactic.axes = std::move(axes);
+  tactic.options.simulations = simulations;
+  tactic.options.max_actions = 4;
+  Executable exe = bench::Run(step, mesh, {tactic});
+  const TacticReport& report = exe.tactics()[0];
+  PrintRow({model, StrCat(tactic.axes.size()), StrCat(simulations),
+            StrCat(report.evaluations),
+            Fmt(report.search_seconds, "%.2f s"),
+            Fmt(exe.Estimate().step_seconds * 1e3, "%.3f ms")});
 }
 
 }  // namespace
@@ -38,26 +38,28 @@ int main() {
   const int kSims = 48;
   {
     GnsConfig config = GnsConfig::Bench();
-    Module m1, m2;
-    RunSearch("GNS", BuildGnsTrainingStep(m1, config), {"batch"}, kSims);
-    RunSearch("GNS", BuildGnsTrainingStep(m2, config), {"batch", "model"},
-              kSims);
+    Program step = Program::Capture([&](Module& module) {
+      return BuildGnsTrainingStep(module, config);
+    });
+    RunSearch("GNS", step, {"batch"}, kSims);
+    RunSearch("GNS", step, {"batch", "model"}, kSims);
   }
   {
     UNetConfig config = UNetConfig::Bench();
-    Module m1, m2;
-    RunSearch("UNet", BuildUNetTrainingStep(m1, config), {"batch"}, kSims);
-    RunSearch("UNet", BuildUNetTrainingStep(m2, config), {"batch", "model"},
-              kSims);
+    Program step = Program::Capture([&](Module& module) {
+      return BuildUNetTrainingStep(module, config);
+    });
+    RunSearch("UNet", step, {"batch"}, kSims);
+    RunSearch("UNet", step, {"batch", "model"}, kSims);
   }
   {
     TransformerConfig config = TransformerConfig::T32Scaled();
     config.num_layers = 4;
-    Module m1, m2;
-    RunSearch("T32/4L", BuildTransformerTrainingStep(m1, config), {"batch"},
-              kSims);
-    RunSearch("T32/4L", BuildTransformerTrainingStep(m2, config),
-              {"batch", "model"}, kSims);
+    Program step = Program::Capture([&](Module& module) {
+      return BuildTransformerTrainingStep(module, config);
+    });
+    RunSearch("T32/4L", step, {"batch"}, kSims);
+    RunSearch("T32/4L", step, {"batch", "model"}, kSims);
   }
   return 0;
 }

@@ -24,10 +24,11 @@ AutomaticPartition Auto(const std::string& name,
 }
 
 void Report(const std::string& model, const std::string& schedule,
-            const PartitionResult& result) {
-  PrintRow({model, schedule, Fmt(result.estimate.step_seconds * 1e3, "%.3f"),
-            Fmt(result.estimate.peak_memory_bytes / 1e9, "%.3f"),
-            result.collectives.ToString()});
+            const Executable& result) {
+  PrintRow({model, schedule,
+            Fmt(result.Estimate().step_seconds * 1e3, "%.3f"),
+            Fmt(result.Estimate().peak_memory_bytes / 1e9, "%.3f"),
+            result.Collectives().ToString()});
 }
 
 }  // namespace
@@ -45,8 +46,9 @@ int main() {
   {  // T32 (scaled): manual, BP+AutoMP+Z3, AllAuto.
     TransformerConfig config = TransformerConfig::T32Scaled();
     config.num_layers = 8;  // keep the search affordable
-    Module module;
-    Func* step = BuildTransformerTrainingStep(module, config);
+    Program step = Program::Capture([&](Module& module) {
+      return BuildTransformerTrainingStep(module, config);
+    });
     Report("T32/8L", "BP+MP+Z3 (manual)",
            Run(step, mesh,
                {TransformerBP(), TransformerMP(), TransformerZ3()}));
@@ -59,8 +61,9 @@ int main() {
   }
   {  // UNet: BP, BP+AutoMP, AllAuto.
     UNetConfig config = UNetConfig::Bench();
-    Module module;
-    Func* step = BuildUNetTrainingStep(module, config);
+    Program step = Program::Capture([&](Module& module) {
+      return BuildUNetTrainingStep(module, config);
+    });
     Report("UNet", "BP (manual)", Run(step, mesh, {UNetBP()}));
     Report("UNet", "BP+AutoMP",
            Run(step, mesh, {UNetBP(), Auto("AutoMP", {"model"}, kSims)}));
@@ -69,8 +72,9 @@ int main() {
   }
   {  // GNS: ES, ES+AutoMP, ES+AutoBP, AllAuto.
     GnsConfig config = GnsConfig::Bench();
-    Module module;
-    Func* step = BuildGnsTrainingStep(module, config);
+    Program step = Program::Capture([&](Module& module) {
+      return BuildGnsTrainingStep(module, config);
+    });
     Report("GNS", "ES (manual)", Run(step, mesh, {GnsES()}));
     Report("GNS", "ES+AutoMP",
            Run(step, mesh, {GnsES(), Auto("AutoMP", {"model"}, kSims)}));

@@ -59,20 +59,20 @@ void RunCase(const std::string& label, bool with_mp, bool z3) {
   schedule.push_back(z3 ? UNetZ3() : UNetZ2());
 
   std::vector<Variant> variants;
+  Program traced = Program::Capture([&](Module& module) {
+    return BuildUNetTrainingStep(module, config);
+  });
   {  // PartIR (incremental).
-    Module module;
-    Func* step = BuildUNetTrainingStep(module, config);
-    PartitionResult result = Run(step, mesh, schedule, device);
-    variants.push_back({"PartIR", result.estimate.step_seconds,
-                        result.estimate.peak_memory_bytes});
+    Executable result = Run(traced, mesh, schedule, device);
+    variants.push_back({"PartIR", result.Estimate().step_seconds,
+                        result.Estimate().peak_memory_bytes});
   }
-  {  // PartIR-st (single amalgamated tactic).
-    Module module;
-    Func* step = BuildUNetTrainingStep(module, config);
-    PartitionResult result = Run(step, mesh, schedule, device,
-                                 /*incremental=*/false);
-    variants.push_back({"PartIR-st", result.estimate.step_seconds,
-                        result.estimate.peak_memory_bytes});
+  {  // PartIR-st (single amalgamated tactic): same trace, re-partitioned
+     // with the Section 7.4 ablation switch.
+    Executable result = Run(traced, mesh, schedule, device,
+                            /*incremental=*/false);
+    variants.push_back({"PartIR-st", result.Estimate().step_seconds,
+                        result.Estimate().peak_memory_bytes});
   }
   for (bool internal : {true, false}) {  // GSPMD / GSPMD--.
     Module module;

@@ -37,18 +37,15 @@ double BackendStandIn(SpmdModule& spmd) {
   return Seconds(start);
 }
 
-void RunCase(const std::string& label, Func* step,
+void RunCase(const std::string& label, Program& step,
              const std::vector<Tactic>& schedule) {
   Mesh mesh({{"batch", 8}, {"model", 2}});
   auto start = Clock::now();
-  PartitionContext ctx(step, mesh);
-  PartitionOptions options;
-  options.per_tactic_reports = false;
-  PartitionResult result = PartirJit(ctx, schedule, options);
+  Executable exe = bench::Run(step, mesh, schedule);
   double partition_seconds = Seconds(start);
-  double backend_seconds = BackendStandIn(result.spmd);
+  double backend_seconds = BackendStandIn(exe.mutable_spmd());
   double total = partition_seconds + backend_seconds;
-  PrintRow({label, StrCat(CountOps(*result.spmd.main())),
+  PrintRow({label, StrCat(CountOps(*exe.spmd().main())),
             Fmt(partition_seconds * 1e3, "%.1f"),
             Fmt(total * 1e3, "%.1f"),
             Fmt(100.0 * partition_seconds / total, "%.1f%%")});
@@ -65,31 +62,32 @@ int main() {
   PrintRow({"model", "ops", "partir ms", "total ms", "partir %"});
   {
     TransformerConfig config = TransformerConfig::T32Scaled();
-    Module module;
-    Func* step = BuildTransformerTrainingStep(module, config);
-    RunCase("T32", step,
-            {TransformerBP(), TransformerMP(), TransformerZ3(),
-             TransformerEMB()});
+    Program step = Program::Capture([&](Module& module) {
+      return BuildTransformerTrainingStep(module, config);
+    });
+    RunCase("T32", step, TransformerBPMPZ3EMB());
   }
   {
     UNetConfig config = UNetConfig::Bench();
-    Module module;
-    Func* step = BuildUNetTrainingStep(module, config);
+    Program step = Program::Capture([&](Module& module) {
+      return BuildUNetTrainingStep(module, config);
+    });
     RunCase("UNet", step, {UNetBP(), UNetMP(), UNetZ3()});
   }
   {
     GnsConfig config = GnsConfig::Bench();
-    Module module;
-    Func* step = BuildGnsTrainingStep(module, config);
+    Program step = Program::Capture([&](Module& module) {
+      return BuildGnsTrainingStep(module, config);
+    });
     RunCase("GNS", step, {GnsES()});
   }
   {
     TransformerConfig config = TransformerConfig::T32Scaled();
     config.seq = 16;
-    Module module;
-    Func* infer = BuildTransformerInference(module, config, 8);
-    ManualPartition bp{"BP", {{"tokens", 0}, {"decode_tokens", 0}}, "batch"};
-    RunCase("IT32", infer, {bp, TransformerMP()});
+    Program infer = Program::Capture([&](Module& module) {
+      return BuildTransformerInference(module, config, 8);
+    });
+    RunCase("IT32", infer, {InferenceBP(), TransformerMP()});
   }
   return 0;
 }

@@ -17,15 +17,16 @@ using bench::PrintRow;
 using bench::Run;
 
 void Report(const std::string& model, const std::string& schedule,
-            const PartitionResult& result) {
-  SimEstimate measured = MeasureOnHardwareModel(result.spmd, Tpu_v3());
-  double dt = measured.step_seconds - result.estimate.step_seconds;
-  double dm = measured.peak_memory_bytes - result.estimate.peak_memory_bytes;
+            const Executable& result) {
+  SimEstimate measured = MeasureOnHardwareModel(result.spmd(), Tpu_v3());
+  double dt = measured.step_seconds - result.Estimate().step_seconds;
+  double dm =
+      measured.peak_memory_bytes - result.Estimate().peak_memory_bytes;
   PrintRow({model, schedule,
-            Fmt(result.estimate.step_seconds * 1e3, "%.3f"),
+            Fmt(result.Estimate().step_seconds * 1e3, "%.3f"),
             Fmt(measured.step_seconds * 1e3, "%.3f"),
             Fmt(dt * 1e3, "%+.3f"),
-            Fmt(result.estimate.peak_memory_bytes / 1e9, "%.3f"),
+            Fmt(result.Estimate().peak_memory_bytes / 1e9, "%.3f"),
             Fmt(measured.peak_memory_bytes / 1e9, "%.3f"),
             Fmt(dm / 1e9, "%+.3f")});
 }
@@ -45,8 +46,9 @@ int main() {
 
   {
     TransformerConfig config = TransformerConfig::T32Scaled();
-    Module module;
-    Func* step = BuildTransformerTrainingStep(module, config);
+    Program step = Program::Capture([&](Module& module) {
+      return BuildTransformerTrainingStep(module, config);
+    });
     Report("T32", "BP", Run(step, mesh, {TransformerBP()}));
     Report("T32", "BP+MP",
            Run(step, mesh, {TransformerBP(), TransformerMP()}));
@@ -61,25 +63,28 @@ int main() {
   {
     TransformerConfig config = TransformerConfig::T32Scaled();
     config.seq = 16;
-    Module module;
-    Func* infer = BuildTransformerInference(module, config, 8);
-    ManualPartition bp{"BP", {{"tokens", 0}, {"decode_tokens", 0}}, "batch"};
+    Program infer = Program::Capture([&](Module& module) {
+      return BuildTransformerInference(module, config, 8);
+    });
+    ManualPartition bp = InferenceBP();
     Report("IT32", "BP", Run(infer, mesh, {bp}));
     Report("IT32", "BP+MP", Run(infer, mesh, {bp, TransformerMP()}));
     Report("IT32", "MP", Run(infer, mesh, {TransformerMP()}));
   }
   {
     UNetConfig config = UNetConfig::Bench();
-    Module module;
-    Func* step = BuildUNetTrainingStep(module, config);
+    Program step = Program::Capture([&](Module& module) {
+      return BuildUNetTrainingStep(module, config);
+    });
     Report("UNet", "BP", Run(step, mesh, {UNetBP()}));
     Report("UNet", "BP+Z2", Run(step, mesh, {UNetBP(), UNetZ2()}));
     Report("UNet", "BP+Z3", Run(step, mesh, {UNetBP(), UNetZ3()}));
   }
   {
     GnsConfig config = GnsConfig::Bench();
-    Module module;
-    Func* step = BuildGnsTrainingStep(module, config);
+    Program step = Program::Capture([&](Module& module) {
+      return BuildGnsTrainingStep(module, config);
+    });
     Mesh gns_mesh({{"batch", 8}});
     Report("GNS", "ES", Run(step, gns_mesh, {GnsES()}));
   }

@@ -1,8 +1,10 @@
 // Micro-benchmarks (google-benchmark) for the compiler passes themselves:
 // propagation, SPMD lowering and collective optimization throughput on
-// generated matmul chains of increasing length.
+// generated matmul chains of increasing length, plus the end-to-end
+// Program::Partition facade pipeline those passes compose into.
 #include <benchmark/benchmark.h>
 
+#include "src/api/partir.h"
 #include "src/core/context.h"
 #include "src/ir/builder.h"
 #include "src/spmd/lowering.h"
@@ -82,6 +84,36 @@ void BM_OptimizeSpmd(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * layers * 2);
 }
 BENCHMARK(BM_OptimizeSpmd)->Arg(16)->Arg(64)->Arg(256);
+
+// The whole facade pipeline (actions -> propagation -> lowering ->
+// collective optimization) through one Program::Partition call; the trace
+// is reused across iterations, as in multi-query serving.
+void BM_FacadePartition(benchmark::State& state) {
+  int64_t layers = state.range(0);
+  Program program("main");
+  Value* x = program.AddInput(TensorType({64, 64}), "x");
+  std::vector<Value*> weights;
+  for (int64_t i = 0; i < layers; ++i) {
+    weights.push_back(
+        program.AddInput(TensorType({64, 64}), StrCat("w", i)));
+  }
+  Value* h = x;
+  for (int64_t i = 0; i < layers; ++i) {
+    h = program.builder().Tanh(program.builder().MatMul(h, weights[i]));
+  }
+  program.Return({h});
+  ManualPartition bp{"BP", {{"x", 0}}, "B"};
+  PartitionOptions options;
+  options.per_tactic_reports = false;
+  options.capture_stages = false;
+  for (auto _ : state) {
+    StatusOr<Executable> exe =
+        program.Partition({Tactic(bp)}, Mesh({{"B", 4}}), options);
+    benchmark::DoNotOptimize(exe.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * layers * 2);
+}
+BENCHMARK(BM_FacadePartition)->Arg(16)->Arg(64)->Arg(256);
 
 }  // namespace
 }  // namespace partir

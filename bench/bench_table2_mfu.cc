@@ -19,19 +19,17 @@ void RunConfiguration(const std::string& label,
                       const TransformerConfig& config, int64_t batch_axis,
                       int64_t model_axis, const DeviceSpec& device) {
   Mesh mesh({{"batch", batch_axis}, {"model", model_axis}});
-  Module module;
-  Func* step = BuildTransformerTrainingStep(module, config);
-  double model_flops = FuncFlops(*step);
+  Program step = Program::Capture([&](Module& module) {
+    return BuildTransformerTrainingStep(module, config);
+  });
+  double model_flops = FuncFlops(*step.func());
   int64_t devices = mesh.NumDevices();
   using namespace schedules;
 
   // PartIR: the paper's four-tactic schedule BP+MP+Z3+EMB.
-  PartitionResult partir_result =
-      Run(step, mesh,
-          {TransformerBP(), TransformerMP(), TransformerZ3(),
-           TransformerEMB()},
-          device);
-  double partir_mfu = Mfu(model_flops, partir_result.estimate.step_seconds,
+  Executable partir_result =
+      Run(step, mesh, TransformerBPMPZ3EMB(), device);
+  double partir_mfu = Mfu(model_flops, partir_result.Estimate().step_seconds,
                           devices, device);
 
   // GSPMD baseline: equivalent sharding annotations, all at once.
@@ -54,7 +52,7 @@ void RunConfiguration(const std::string& label,
       Mfu(model_flops, gspmd_estimate.step_seconds, devices, device);
 
   PrintRow({label, Fmt(partir_mfu), Fmt(gspmd_mfu),
-            Fmt(partir_result.estimate.peak_memory_bytes / 1e9),
+            Fmt(partir_result.Estimate().peak_memory_bytes / 1e9),
             Fmt(gspmd_estimate.peak_memory_bytes / 1e9)});
 }
 

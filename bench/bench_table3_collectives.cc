@@ -26,8 +26,9 @@ void Report(const std::string& model, const std::string& schedule,
 
 void TransformerRows() {
   TransformerConfig config = TransformerConfig::T32Scaled();
-  Module module;
-  Func* step = BuildTransformerTrainingStep(module, config);
+  Program step = Program::Capture([&](Module& module) {
+    return BuildTransformerTrainingStep(module, config);
+  });
   Mesh mesh({{"batch", 16}, {"model", 2}});
   using namespace schedules;
   struct Row {
@@ -52,8 +53,8 @@ void TransformerRows() {
       {"EMB", {TransformerEMB()}, "paper: 256/193/128/0"},
   };
   for (const Row& row : rows) {
-    PartitionResult result = Run(step, mesh, row.schedule);
-    Report("T32", row.name, result.collectives, row.paper);
+    Executable result = Run(step, mesh, row.schedule);
+    Report("T32", row.name, result.Collectives(), row.paper);
   }
 }
 
@@ -63,65 +64,69 @@ void InferenceRows() {
   TransformerConfig config = TransformerConfig::T32Scaled();
   config.seq = 16;
   using namespace schedules;
-  ManualPartition bp{"BP", {{"tokens", 0}, {"decode_tokens", 0}}, "batch"};
+  ManualPartition bp = InferenceBP();
 
   {
-    Module module;
-    Func* infer = BuildTransformerInference(module, config, steps);
+    Program infer = Program::Capture([&](Module& module) {
+      return BuildTransformerInference(module, config, steps);
+    });
     Report("IT32", "BP",
-           Run(infer, mesh, {bp}).collectives,
+           Run(infer, mesh, {bp}).Collectives(),
            "paper: 0/0/0/0");
     // Our serving loop does `steps` decode passes plus one prefill pass;
     // the paper reports counts for 1536 generated positions.
-    PartitionResult mp_only = Run(infer, mesh, {TransformerMP()});
-    Report("IT32", "MP", mp_only.collectives,
+    Executable mp_only = Run(infer, mesh, {TransformerMP()});
+    Report("IT32", "MP", mp_only.Collectives(),
            StrCat("extrapolated AR@1536 pos: ",
-                  mp_only.collectives.all_reduce / (steps + 1) * 1536,
+                  mp_only.Collectives().all_reduce / (steps + 1) * 1536,
                   " (paper 98304)"));
-    PartitionResult bpmp = Run(infer, mesh, {bp, TransformerMP()});
-    Report("IT32", "BP+MP", bpmp.collectives,
+    Executable bpmp = Run(infer, mesh, {bp, TransformerMP()});
+    Report("IT32", "BP+MP", bpmp.Collectives(),
            StrCat("extrapolated AR@1536 pos: ",
-                  bpmp.collectives.all_reduce / (steps + 1) * 1536,
+                  bpmp.Collectives().all_reduce / (steps + 1) * 1536,
                   " (paper 98304)"));
   }
   {
     TransformerConfig mq_config = config;
     mq_config.multi_query = true;
-    Module module;
-    Func* infer = BuildTransformerInference(module, mq_config, steps);
-    PartitionResult result =
+    Program infer = Program::Capture([&](Module& module) {
+      return BuildTransformerInference(module, mq_config, steps);
+    });
+    Executable result =
         Run(infer, mesh, {bp, TransformerMP(), TransformerMQ()});
-    Report("IT32", "BP+MP+MQ", result.collectives,
+    Report("IT32", "BP+MP+MQ", result.Collectives(),
            StrCat("extrapolated A2A@1536 pos: ",
-                  result.collectives.all_to_all / steps * 1535,
+                  result.Collectives().all_to_all / steps * 1535,
                   " (paper 98240)"));
   }
 }
 
 void UNetRows() {
   UNetConfig config = UNetConfig::Bench();
-  Module module;
-  Func* step = BuildUNetTrainingStep(module, config);
+  Program step = Program::Capture([&](Module& module) {
+    return BuildUNetTrainingStep(module, config);
+  });
   Mesh mesh({{"batch", 8}, {"model", 2}});
   using namespace schedules;
   Report("UNet", StrCat("BP (params=", config.NumParams(), ")"),
-         Run(step, mesh, {UNetBP()}).collectives,
+         Run(step, mesh, {UNetBP()}).Collectives(),
          "paper: 0/503/0/0 @502 params");
   Report("UNet", "BP+Z2",
-         Run(step, mesh, {UNetBP(), UNetZ2()}).collectives,
+         Run(step, mesh, {UNetBP(), UNetZ2()}).Collectives(),
          "paper: 517/2/501/0");
   Report("UNet", "BP+Z3",
-         Run(step, mesh, {UNetBP(), UNetZ3()}).collectives,
+         Run(step, mesh, {UNetBP(), UNetZ3()}).Collectives(),
          "paper: 799/2/501/0");
 }
 
 void GnsRows() {
   GnsConfig config = GnsConfig::Bench();
-  Module module;
-  Func* step = BuildGnsTrainingStep(module, config);
+  Program step = Program::Capture([&](Module& module) {
+    return BuildGnsTrainingStep(module, config);
+  });
   Mesh mesh({{"batch", 8}});
   Report("GNS", StrCat("ES (params=", config.NumParams(), ")"),
-         Run(step, mesh, {schedules::GnsES()}).collectives,
+         Run(step, mesh, {schedules::GnsES()}).Collectives(),
          "paper: 0/423/0/0");
 }
 

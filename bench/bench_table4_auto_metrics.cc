@@ -24,14 +24,14 @@ AutomaticPartition Auto(const std::string& name,
 }
 
 void Report(const std::string& model, const std::string& schedule,
-            const PartitionResult& result) {
+            const Executable& result) {
   PrintRow({model, schedule,
-            Fmt(result.estimate.peak_memory_bytes / 1e6, "%.2f"),
-            Fmt(result.estimate.step_seconds * 1e3, "%.3f"),
-            StrCat(result.collectives.all_gather),
-            StrCat(result.collectives.all_reduce),
-            StrCat(result.collectives.reduce_scatter),
-            StrCat(result.collectives.all_to_all)});
+            Fmt(result.Estimate().peak_memory_bytes / 1e6, "%.2f"),
+            Fmt(result.Estimate().step_seconds * 1e3, "%.3f"),
+            StrCat(result.Collectives().all_gather),
+            StrCat(result.Collectives().all_reduce),
+            StrCat(result.Collectives().reduce_scatter),
+            StrCat(result.Collectives().all_to_all)});
 }
 
 }  // namespace
@@ -47,8 +47,9 @@ int main() {
 
   {
     GnsConfig config = GnsConfig::Bench();
-    Module module;
-    Func* step = BuildGnsTrainingStep(module, config);
+    Program step = Program::Capture([&](Module& module) {
+      return BuildGnsTrainingStep(module, config);
+    });
     Report("GNS", "ES", Run(step, mesh, {GnsES()}));
     Report("GNS", "ES+AutoMP",
            Run(step, mesh, {GnsES(), Auto("AutoMP", {"model"})}));
@@ -58,8 +59,9 @@ int main() {
   {
     TransformerConfig config = TransformerConfig::T32Scaled();
     config.num_layers = 8;
-    Module module;
-    Func* step = BuildTransformerTrainingStep(module, config);
+    Program step = Program::Capture([&](Module& module) {
+      return BuildTransformerTrainingStep(module, config);
+    });
     Report("T32/8L", "BP", Run(step, mesh, {TransformerBP()}));
     Report("T32/8L", "BP+MP",
            Run(step, mesh, {TransformerBP(), TransformerMP()}));
@@ -83,17 +85,19 @@ int main() {
   {
     TransformerConfig config = TransformerConfig::T32Scaled();
     config.seq = 16;
-    Module module;
-    Func* infer = BuildTransformerInference(module, config, 8);
-    ManualPartition bp{"BP", {{"tokens", 0}, {"decode_tokens", 0}}, "batch"};
+    Program infer = Program::Capture([&](Module& module) {
+      return BuildTransformerInference(module, config, 8);
+    });
+    ManualPartition bp = InferenceBP();
     Report("IT32", "BP", Run(infer, mesh, {bp}));
     Report("IT32", "BP+MP", Run(infer, mesh, {bp, TransformerMP()}));
     Report("IT32", "MP", Run(infer, mesh, {TransformerMP()}));
   }
   {
     UNetConfig config = UNetConfig::Bench();
-    Module module;
-    Func* step = BuildUNetTrainingStep(module, config);
+    Program step = Program::Capture([&](Module& module) {
+      return BuildUNetTrainingStep(module, config);
+    });
     Report("UNet", "BP", Run(step, mesh, {UNetBP()}));
     Report("UNet", "BP+Z2", Run(step, mesh, {UNetBP(), UNetZ2()}));
     Report("UNet", "BP+Z3", Run(step, mesh, {UNetBP(), UNetZ3()}));

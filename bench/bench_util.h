@@ -1,10 +1,14 @@
 /**
  * @file
  * Shared helpers for the experiment-reproduction binaries: table printing
- * and schedule construction. Each bench binary regenerates one table or
- * figure of the paper (see DESIGN.md's per-experiment index); absolute
- * numbers come from the simulator substrate, the *shape* (who wins, by what
- * factor) is the reproduction target (EXPERIMENTS.md).
+ * and facade-based schedule execution. Each bench binary regenerates one
+ * table or figure of the paper (see DESIGN.md's per-experiment index);
+ * absolute numbers come from the simulator substrate, the *shape* (who
+ * wins, by what factor) is the reproduction target (EXPERIMENTS.md).
+ *
+ * Model steps are traced once into a partir::Program and partitioned (any
+ * number of times) through Program::Partition — the same facade user code
+ * goes through, so the benches also exercise its overheads.
  */
 #ifndef PARTIR_BENCH_BENCH_UTIL_H_
 #define PARTIR_BENCH_BENCH_UTIL_H_
@@ -13,11 +17,11 @@
 #include <string>
 #include <vector>
 
+#include "src/api/partir.h"
 #include "src/models/gns.h"
 #include "src/models/schedules.h"
 #include "src/models/transformer.h"
 #include "src/models/unet.h"
-#include "src/schedule/schedule.h"
 
 namespace partir {
 namespace bench {
@@ -33,18 +37,20 @@ inline void PrintRow(const std::vector<std::string>& cells, int width = 16) {
   std::printf("\n");
 }
 
-/** Runs a schedule on a fresh context over `func`. */
-inline PartitionResult Run(Func* func, const Mesh& mesh,
-                           const std::vector<Tactic>& schedule,
-                           const DeviceSpec& device = Tpu_v3(),
-                           bool incremental = true,
-                           bool per_tactic = false) {
-  PartitionContext ctx(func, mesh);
+/** Runs a schedule over the traced program via the facade; benches treat a
+ *  partitioning error as fatal (a broken schedule means a broken bench). */
+inline Executable Run(Program& program, const Mesh& mesh,
+                      const std::vector<Tactic>& schedule,
+                      const DeviceSpec& device = Tpu_v3(),
+                      bool incremental = true,
+                      bool per_tactic = false) {
   PartitionOptions options;
   options.device = device;
   options.incremental = incremental;
   options.per_tactic_reports = per_tactic;
-  return PartirJit(ctx, schedule, options);
+  StatusOr<Executable> exe = program.Partition(schedule, mesh, options);
+  if (!exe.ok()) PARTIR_FATAL() << exe.status().ToString();
+  return std::move(exe).value();
 }
 
 inline std::string Fmt(double value, const char* format = "%.2f") {

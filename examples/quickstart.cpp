@@ -1,73 +1,78 @@
-// Quickstart: the paper's worked example (Sections 2.4 and 3).
+// Quickstart: the paper's worked example (Sections 2.4 and 3), written
+// against the partir::Program / partir::Executable facade.
 //
 // Builds the matmul chain of Listing 1, partitions it with the BP -> MP ->
-// Z3 schedule of Listing 5 over the {B:4, M:2} mesh, and shows:
+// Z3 schedule of Listing 5 over the {B:4, M:2} mesh with ONE Partition
+// call, and shows:
 //   * the PartIR:Core loop/slice form after each tactic (Listings 2-4's
-//     rewrites, displayed in their loop form),
+//     rewrites, rendered via Executable::Print(Stage::AfterTactic(i))),
 //   * the final device-local SPMD module with collectives (Listing 4),
 //   * executable verification: the partitioned program run on all 8
 //     simulated devices equals the unpartitioned program.
+//
+// Every failure mode along the way — a typo'd axis, a schedule key that
+// matches nothing, an indivisible dimension — would surface as a non-OK
+// Status with a message, not a silently different strategy.
 #include <cstdio>
 
-#include "src/core/materialize.h"
-#include "src/interp/interpreter.h"
-#include "src/ir/builder.h"
-#include "src/ir/printer.h"
-#include "src/models/schedules.h"
-#include "src/schedule/schedule.h"
-#include "src/spmd/spmd_interpreter.h"
+#include "src/api/partir.h"
 
 using namespace partir;
 
 int main() {
-  // ---- Listing 1: the unpartitioned program. ----
-  Module module;
-  Func* func = module.AddFunc("main");
-  Value* x = func->body().AddArg(TensorType({256, 8}), "x");
-  Value* w1 = func->body().AddArg(TensorType({8, 16}), "w1");
-  Value* w2 = func->body().AddArg(TensorType({16, 8}), "w2");
-  OpBuilder builder(&func->body());
+  // ---- Listing 1: trace the unpartitioned program. ----
+  Program program("main");
+  Value* x = program.AddInput(TensorType({256, 8}), "x");
+  Value* w1 = program.AddInput(TensorType({8, 16}), "w1");
+  Value* w2 = program.AddInput(TensorType({16, 8}), "w2");
+  OpBuilder& builder = program.builder();
   Value* x1 = builder.MatMul(x, w1);
   x1->set_name("x1");
   Value* x2 = builder.MatMul(x1, w2);
   x2->set_name("x2");
-  builder.Return({x2});
+  program.Return({x2});
 
   std::printf("==== Unpartitioned module (Listing 1) ====\n%s\n",
-              Print(module).c_str());
+              program.Print().c_str());
 
-  // ---- Listing 5: the schedule, as tactics. ----
+  // ---- Listing 5: the schedule, as tactics; one Partition call. ----
   Mesh mesh({{"B", 4}, {"M", 2}});
-  PartitionContext ctx(func, mesh);
-  ManualPartition bp{"BP", {{"x", 0}}, "B"};
-  ManualPartition mp{"MP", {{"w1", 1}}, "M"};
-  ManualPartition z3{"Z3", {{"w1", 0}, {"w2", 1}}, "B"};
+  std::vector<Tactic> schedule = {
+      ManualPartition{"BP", {{"x", 0}}, "B"},
+      ManualPartition{"MP", {{"w1", 1}}, "M"},
+      ManualPartition{"Z3", {{"w1", 0}, {"w2", 1}}, "B"},
+  };
+  PartitionOptions options;
+  options.capture_stages = true;  // keep every tactic's loop form around
+  StatusOr<Executable> compiled = program.Partition(schedule, mesh, options);
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "partitioning failed: %s\n",
+                 compiled.status().ToString().c_str());
+    return 1;
+  }
+  Executable exe = std::move(compiled).value();
 
-  for (const ManualPartition& tactic : {bp, mp, z3}) {
-    ApplyManualTactic(ctx, tactic);
-    ctx.Propagate();
+  // ---- Per-tactic loop forms: the paper's verify-every-tactic loop. ----
+  for (int i = 0; i < static_cast<int>(exe.tactics().size()); ++i) {
     std::printf("==== PartIR:Core loop form after tactic %s ====\n%s\n",
-                tactic.name.c_str(),
-                Print(*MaterializeLoops(ctx)).c_str());
+                exe.tactics()[i].name.c_str(),
+                exe.Print(Stage::AfterTactic(i)).value().c_str());
   }
 
-  // ---- Lower to the device-local SPMD module (Listing 4). ----
-  SpmdModule spmd = LowerToSpmd(ctx);
-  OptimizeSpmd(spmd);
+  // ---- The device-local SPMD module (Listing 4). ----
   std::printf("==== Device-local SPMD module ====\n%s\n",
-              Print(*spmd.module).c_str());
+              exe.Print(Stage::Spmd()).value().c_str());
   std::printf("Input shardings:\n");
-  for (int i = 0; i < func->body().num_args(); ++i) {
-    std::printf("  %-4s %s\n", func->body().arg(i)->name().c_str(),
-                spmd.input_shardings[i].ToString().c_str());
+  for (int i = 0; i < exe.num_inputs(); ++i) {
+    std::printf("  %-4s %s\n", program.input_name(i).c_str(),
+                exe.input_sharding(i).ToString().c_str());
   }
-  CollectiveStats stats = CountCollectives(*spmd.module, mesh);
-  std::printf("Collectives: %s\n\n", stats.ToString().c_str());
+  std::printf("Collectives: %s\n\n", exe.Collectives().ToString().c_str());
 
   // ---- Verify: run on all 8 devices and compare with the reference. ----
-  std::vector<Tensor> inputs = MakeRandomInputs(*func, /*seed=*/1);
-  std::vector<Tensor> want = Evaluate(*func, inputs);
-  std::vector<Tensor> got = RunSpmd(spmd, inputs);
+  std::vector<Tensor> inputs = program.RandomInputs(/*seed=*/1);
+  std::vector<Tensor> want = program.Evaluate(inputs).value();
+  std::vector<Tensor> got = exe.Run(inputs).value();
   float diff = Tensor::MaxAbsDiff(want[0], got[0]);
   std::printf("max |unpartitioned - partitioned| over all outputs: %g\n",
               diff);

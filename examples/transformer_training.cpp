@@ -1,13 +1,13 @@
 // Partitioning a transformer training step with the paper's production
-// schedule BP+MP+Z3 (Section 7.2), showing the per-tactic metadata PartIR
-// returns: collective breakdown and simulator estimates after each tactic —
-// the "verify the strategy after every tactic" workflow.
+// schedule BP+MP+Z3 (Section 7.2) through the Program/Executable facade,
+// showing the per-tactic metadata PartIR returns: collective breakdown and
+// simulator estimates after each tactic — the "verify the strategy after
+// every tactic" workflow.
 #include <cstdio>
 
-#include "src/interp/interpreter.h"
+#include "src/api/partir.h"
 #include "src/models/schedules.h"
 #include "src/models/transformer.h"
-#include "src/spmd/spmd_interpreter.h"
 
 using namespace partir;
 
@@ -22,26 +22,29 @@ int main() {
   config.batch = 8;
   config.seq = 8;
 
-  Module module;
-  Func* step = BuildTransformerTrainingStep(module, config);
+  Program program = Program::Capture([&](Module& module) {
+    return BuildTransformerTrainingStep(module, config);
+  });
   std::printf("Transformer training step: %lld parameter tensors, %lld ops\n",
               static_cast<long long>(config.NumParams()),
-              static_cast<long long>(CountOps(*step)));
+              static_cast<long long>(CountOps(*program.func())));
 
   Mesh mesh({{"batch", 4}, {"model", 2}});
-  PartitionContext ctx(step, mesh);
   PartitionOptions options;
   options.per_tactic_reports = true;
 
-  using namespace schedules;
-  PartitionResult result = PartirJit(
-      ctx,
-      {TransformerBP(), TransformerMP(), TransformerZ3()},
-      options);
+  StatusOr<Executable> compiled =
+      program.Partition(schedules::TransformerBPMPZ3(), mesh, options);
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "partitioning failed: %s\n",
+                 compiled.status().ToString().c_str());
+    return 1;
+  }
+  Executable exe = std::move(compiled).value();
 
   std::printf("\n%-8s %-8s %-12s %-12s %s\n", "tactic", "actions",
               "ms/step est", "peak MB est", "collectives");
-  for (const TacticReport& report : result.tactics) {
+  for (const TacticReport& report : exe.tactics()) {
     std::printf("%-8s %-8d %-12.3f %-12.2f %s\n", report.name.c_str(),
                 report.actions_applied,
                 report.estimate.step_seconds * 1e3,
@@ -49,17 +52,16 @@ int main() {
                 report.collectives.ToString().c_str());
   }
   std::printf("\nFinal: %s | est %.3f ms/step, %.2f MB peak\n",
-              result.collectives.ToString().c_str(),
-              result.estimate.step_seconds * 1e3,
-              result.estimate.peak_memory_bytes / 1e6);
-  std::printf("Partitioning took %.1f ms\n",
-              result.partition_seconds * 1e3);
+              exe.Collectives().ToString().c_str(),
+              exe.Estimate().step_seconds * 1e3,
+              exe.Estimate().peak_memory_bytes / 1e6);
+  std::printf("Partitioning took %.1f ms\n", exe.partition_seconds() * 1e3);
 
   // Verify the partitioned step against the sequential reference.
-  std::vector<Tensor> inputs = MakeRandomInputs(
-      *step, 3, /*index_modulus=*/static_cast<float>(config.vocab));
-  std::vector<Tensor> want = Evaluate(*step, inputs);
-  std::vector<Tensor> got = RunSpmd(result.spmd, inputs);
+  std::vector<Tensor> inputs = program.RandomInputs(
+      3, /*index_modulus=*/static_cast<float>(config.vocab));
+  std::vector<Tensor> want = program.Evaluate(inputs).value();
+  std::vector<Tensor> got = exe.Run(inputs).value();
   float max_diff = 0;
   for (size_t i = 0; i < want.size(); ++i) {
     max_diff = std::max(max_diff, Tensor::MaxAbsDiff(want[i], got[i]));

@@ -1,0 +1,87 @@
+#include "src/api/executable.h"
+
+#include "src/ir/printer.h"
+#include "src/spmd/spmd_interpreter.h"
+
+namespace partir {
+namespace api_internal {
+
+Status ValidateInputs(const Func& func, const std::vector<Tensor>& inputs) {
+  int expected = func.body().num_args();
+  if (static_cast<int>(inputs.size()) != expected) {
+    return InvalidArgumentError("expected ", expected, " inputs for '",
+                                func.name(), "', got ", inputs.size());
+  }
+  for (int i = 0; i < expected; ++i) {
+    const Value* arg = func.body().arg(i);
+    if (!arg->type().IsTensor()) continue;
+    if (inputs[i].dims() != arg->tensor_type().dims()) {
+      return InvalidArgumentError(
+          "input ", i, " ('", arg->name(), "') has shape [",
+          StrJoin(inputs[i].dims(), ","), "], expected [",
+          StrJoin(arg->tensor_type().dims(), ","), "]");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace api_internal
+
+StatusOr<std::vector<Tensor>> Executable::Run(
+    const std::vector<Tensor>& inputs) const {
+  PARTIR_RETURN_IF_ERROR(api_internal::ValidateInputs(*traced_, inputs));
+  return RunSpmd(result_.spmd, inputs);
+}
+
+SimEstimate Executable::Estimate(const DeviceSpec& device) const {
+  return EstimateSpmd(result_.spmd, device);
+}
+
+StatusOr<std::string> Executable::Print(Stage stage) const {
+  switch (stage.kind_) {
+    case Stage::Kind::kSource:
+      return partir::Print(*traced_);
+    case Stage::Kind::kAfterTactic: {
+      if (stage.index_ < 0 ||
+          stage.index_ >= static_cast<int>(result_.tactics.size())) {
+        return InvalidArgumentError("no tactic ", stage.index_,
+                                    "; the schedule has ",
+                                    result_.tactics.size(), " tactics");
+      }
+      const TacticReport& report = result_.tactics[stage.index_];
+      if (report.loop_module == nullptr) {
+        return FailedPreconditionError(
+            "loop form after tactic '", report.name,
+            "' was not captured; partition with "
+            "PartitionOptions::capture_stages=true");
+      }
+      return partir::Print(*report.loop_module);
+    }
+    case Stage::Kind::kLoops:
+      if (result_.loop_module == nullptr) {
+        return FailedPreconditionError(
+            "final loop form was not captured; partition with "
+            "PartitionOptions::capture_stages=true");
+      }
+      return partir::Print(*result_.loop_module);
+    case Stage::Kind::kSpmd:
+      return partir::Print(*result_.spmd.module);
+  }
+  return InternalError("unknown stage");
+}
+
+StatusOr<Executable> Executable::Respecialize(
+    const std::vector<Tactic>& new_schedule) const {
+  return Respecialize(new_schedule, options_);
+}
+
+StatusOr<Executable> Executable::Respecialize(
+    const std::vector<Tactic>& new_schedule,
+    const PartitionOptions& options) const {
+  PartitionContext ctx(traced_, mesh());
+  PARTIR_ASSIGN_OR_RETURN(PartitionResult result,
+                          PartirJitOrError(ctx, new_schedule, options));
+  return Executable(module_, traced_, options, std::move(result));
+}
+
+}  // namespace partir

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * partir::Executable: a partitioned, runnable program — the result of
+ * Program::Partition. It owns the lowered device-local SPMD module together
+ * with everything the paper's workflow inspects after partitioning:
+ * per-tactic TacticReports, input/output shardings, the recorded
+ * propagation conflicts, and the intermediate PartIR:Core loop form after
+ * every tactic prefix (exposed through Print(Stage) — the paper's
+ * "verify the strategy after every tactic" loop as a first-class API).
+ */
+#ifndef PARTIR_API_EXECUTABLE_H_
+#define PARTIR_API_EXECUTABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/interp/tensor.h"
+#include "src/schedule/schedule.h"
+#include "src/support/status.h"
+
+namespace partir {
+
+namespace api_internal {
+/** Validates input count and shapes against a function signature. */
+Status ValidateInputs(const Func& func, const std::vector<Tensor>& inputs);
+}  // namespace api_internal
+
+/**
+ * A point in the partitioning pipeline whose module form Executable::Print
+ * can render:
+ *   Stage::Source()        the traced (unpartitioned) program
+ *   Stage::AfterTactic(i)  PartIR:Core loop form after tactics [0..i]
+ *   Stage::Loops()         loop form after the full schedule
+ *   Stage::Spmd()          the final device-local SPMD module
+ */
+class Stage {
+ public:
+  static Stage Source() { return Stage(Kind::kSource, -1); }
+  static Stage AfterTactic(int index) {
+    return Stage(Kind::kAfterTactic, index);
+  }
+  static Stage Loops() { return Stage(Kind::kLoops, -1); }
+  static Stage Spmd() { return Stage(Kind::kSpmd, -1); }
+
+ private:
+  friend class Executable;
+  enum class Kind { kSource, kAfterTactic, kLoops, kSpmd };
+  Stage(Kind kind, int index) : kind_(kind), index_(index) {}
+  Kind kind_;
+  int index_;
+};
+
+/** A partitioned program, ready to run, estimate, inspect or re-partition. */
+class Executable {
+ public:
+  Executable(Executable&&) = default;
+  Executable& operator=(Executable&&) = default;
+
+  // ---- Running ----
+
+  /**
+   * Executes the SPMD program on every device of the mesh. `inputs` are the
+   * *global* tensors of the traced program; they are sharded per the input
+   * shardings, and the global outputs are reassembled. Input count, rank
+   * and dims are validated up front with typed errors.
+   */
+  StatusOr<std::vector<Tensor>> Run(const std::vector<Tensor>& inputs) const;
+
+  // ---- Cost estimation ----
+
+  /** Simulator estimate for the device spec the schedule was built with. */
+  const SimEstimate& Estimate() const { return result_.estimate; }
+  /** Re-estimates the lowered program on a different device spec. */
+  SimEstimate Estimate(const DeviceSpec& device) const;
+
+  // ---- Inspection ----
+
+  /** Renders the module form at a pipeline stage. Errors when the stage was
+   *  not captured (PartitionOptions::capture_stages=false) or is out of
+   *  range. */
+  StatusOr<std::string> Print(Stage stage) const;
+
+  /** Per-tactic metadata, in schedule order. */
+  const std::vector<TacticReport>& tactics() const { return result_.tactics; }
+  /** Propagation conflicts recorded over the whole schedule. */
+  const std::vector<Conflict>& conflicts() const { return result_.conflicts; }
+  /** Final collective counts (Table 3 rows). */
+  const CollectiveStats& Collectives() const { return result_.collectives; }
+  double partition_seconds() const { return result_.partition_seconds; }
+
+  const Mesh& mesh() const { return result_.spmd.mesh; }
+  int num_inputs() const {
+    return static_cast<int>(result_.spmd.input_shardings.size());
+  }
+  const ValueSharding& input_sharding(int i) const {
+    return result_.spmd.input_shardings.at(i);
+  }
+  const ValueSharding& output_sharding(int i) const {
+    return result_.spmd.output_shardings.at(i);
+  }
+
+  /** The lowered device-local module (mutable form hands the module to a
+   *  backend stand-in; the facade itself never mutates it after build). */
+  const SpmdModule& spmd() const { return result_.spmd; }
+  SpmdModule& mutable_spmd() { return result_.spmd; }
+
+  // ---- Re-partitioning ----
+
+  /**
+   * Re-partitions the traced program this executable was compiled from
+   * under a new schedule (same mesh and options), reusing the trace — the
+   * entry point for incremental strategy exploration and multi-query
+   * serving, where one traced program is specialized per query shape or
+   * per sharding strategy.
+   */
+  StatusOr<Executable> Respecialize(
+      const std::vector<Tactic>& new_schedule) const;
+  StatusOr<Executable> Respecialize(const std::vector<Tactic>& new_schedule,
+                                    const PartitionOptions& options) const;
+
+ private:
+  friend class Program;
+
+  Executable(std::shared_ptr<Module> module, Func* traced,
+             PartitionOptions options, PartitionResult result)
+      : module_(std::move(module)), traced_(traced),
+        options_(std::move(options)), result_(std::move(result)) {}
+
+  std::shared_ptr<Module> module_;  // keeps the traced IR alive
+  Func* traced_;                    // the traced function inside module_
+  PartitionOptions options_;
+  PartitionResult result_;  // its spmd.mesh is the mesh of record
+};
+
+}  // namespace partir
+
+#endif  // PARTIR_API_EXECUTABLE_H_

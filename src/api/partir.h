@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Umbrella header for the PartIR public API. Client code — examples, bench
+ * drivers, downstream users — includes only this header:
+ *
+ *   Program    trace-style building (wraps Module + OpBuilder)
+ *   Partition  one call: tactics -> propagation -> SPMD -> optimization
+ *   Executable run / estimate / inspect / re-partition the result
+ *   Status     typed, message-carrying errors end to end
+ *
+ * It also re-exports the vocabulary types those entry points speak:
+ * Mesh, TensorType, Tensor, the Tactic variants (ManualPartition /
+ * AutomaticPartition), PartitionOptions, TacticReport, DeviceSpec.
+ */
+#ifndef PARTIR_API_PARTIR_H_
+#define PARTIR_API_PARTIR_H_
+
+#include "src/api/executable.h"
+#include "src/api/program.h"
+
+#endif  // PARTIR_API_PARTIR_H_

@@ -1,0 +1,71 @@
+#include "src/api/program.h"
+
+#include "src/interp/interpreter.h"
+#include "src/ir/printer.h"
+
+namespace partir {
+
+Program::Program(std::string name)
+    : module_(std::make_shared<Module>()),
+      func_(module_->AddFunc(std::move(name))), builder_(&func_->body()) {}
+
+Program Program::Capture(const std::function<Func*(Module&)>& build) {
+  Program captured((CaptureTag()));
+  Func* func = build(*captured.module_);
+  PARTIR_CHECK(func != nullptr) << "Program::Capture: builder returned null";
+  captured.func_ = func;
+  captured.builder_.SetInsertionBlock(&func->body());
+  return captured;
+}
+
+Value* Program::AddInput(TensorType type, const std::string& name) {
+  PARTIR_CHECK(!sealed()) << "Program::AddInput after Return()";
+  return func_->body().AddArg(std::move(type), name);
+}
+
+void Program::Return(std::vector<Value*> values) {
+  PARTIR_CHECK(!sealed()) << "Program::Return called twice";
+  builder_.Return(std::move(values));
+}
+
+bool Program::sealed() const {
+  return func_->body().num_ops() > 0 &&
+         func_->body().ops().back()->kind() == OpKind::kReturn;
+}
+
+StatusOr<Executable> Program::Partition(const std::vector<Tactic>& schedule,
+                                        const Mesh& mesh,
+                                        const PartitionOptions& options) {
+  if (!sealed()) {
+    return FailedPreconditionError(
+        "program '", func_->name(),
+        "' is not sealed; call Program::Return before Partition");
+  }
+  if (mesh.num_axes() == 0) {
+    return InvalidArgumentError("cannot partition over an empty mesh");
+  }
+  PartitionContext ctx(func_, mesh);
+  PARTIR_ASSIGN_OR_RETURN(PartitionResult result,
+                          PartirJitOrError(ctx, schedule, options));
+  return Executable(module_, func_, options, std::move(result));
+}
+
+StatusOr<std::vector<Tensor>> Program::Evaluate(
+    const std::vector<Tensor>& inputs) const {
+  if (!sealed()) {
+    return FailedPreconditionError(
+        "program '", func_->name(),
+        "' is not sealed; call Program::Return before Evaluate");
+  }
+  PARTIR_RETURN_IF_ERROR(api_internal::ValidateInputs(*func_, inputs));
+  return partir::Evaluate(*func_, inputs);
+}
+
+std::vector<Tensor> Program::RandomInputs(uint64_t seed,
+                                          float index_modulus) const {
+  return MakeRandomInputs(*func_, seed, index_modulus);
+}
+
+std::string Program::Print() const { return partir::Print(*func_); }
+
+}  // namespace partir

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * partir::Program: the single entry point to the PartIR stack (the facade
+ * over Module/OpBuilder -> PartitionContext -> tactics -> propagation ->
+ * SPMD lowering -> collective optimization). Users trace a program once —
+ * either op-by-op through builder() or by capturing a model-zoo builder —
+ * and compile it with one Partition call:
+ *
+ *   Program program;
+ *   Value* x  = program.AddInput(TensorType({256, 8}), "x");
+ *   Value* w  = program.AddInput(TensorType({8, 16}), "w");
+ *   program.Return({program.builder().MatMul(x, w)});
+ *   StatusOr<Executable> exe = program.Partition(
+ *       {ManualPartition{"BP", {{"x", 0}}, "B"}}, Mesh({{"B", 4}}));
+ *
+ * Every failure mode (unknown axis, unmatched schedule key, indivisible
+ * dim, unsealed program) is a typed, message-carrying Status — never a
+ * silent bool or an abort.
+ */
+#ifndef PARTIR_API_PROGRAM_H_
+#define PARTIR_API_PROGRAM_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/api/executable.h"
+#include "src/interp/tensor.h"
+#include "src/ir/builder.h"
+#include "src/schedule/schedule.h"
+#include "src/support/status.h"
+
+namespace partir {
+
+/** A traced program plus the typed building surface (wraps Module +
+ *  OpBuilder); partitionable any number of times. */
+class Program {
+ public:
+  explicit Program(std::string name = "main");
+  Program(Program&&) = default;
+  Program& operator=(Program&&) = default;
+
+  /**
+   * Traces a program through an existing builder function (the model zoo's
+   * `Build*` entry points): the callback adds a Func to the module and
+   * returns it.
+   *
+   *   Program program = Program::Capture([&](Module& m) {
+   *     return BuildTransformerTrainingStep(m, config);
+   *   });
+   */
+  static Program Capture(const std::function<Func*(Module&)>& build);
+
+  // ---- Building ----
+
+  /** Appends a function input and returns its value. */
+  Value* AddInput(TensorType type, const std::string& name);
+
+  /** The typed op-creation surface (shape-inferring helpers for every op
+   *  kind, composite layers, tags). */
+  OpBuilder& builder() { return builder_; }
+
+  /** Seals the program: `values` become the function outputs. */
+  void Return(std::vector<Value*> values);
+
+  // ---- Partitioning ----
+
+  /**
+   * Runs a schedule of tactics over `mesh` through the whole stack —
+   * actions -> propagation -> SPMD lowering -> collective optimization —
+   * and returns a runnable Executable with per-tactic metadata. The
+   * program can be partitioned repeatedly (each call starts from a fresh
+   * partitioning state; the trace itself is never mutated).
+   */
+  StatusOr<Executable> Partition(const std::vector<Tactic>& schedule,
+                                 const Mesh& mesh,
+                                 const PartitionOptions& options = {});
+
+  // ---- Reference execution ----
+
+  /** Evaluates the traced program with sequential reference semantics
+   *  (the executable specification partitions are verified against). */
+  StatusOr<std::vector<Tensor>> Evaluate(
+      const std::vector<Tensor>& inputs) const;
+
+  /** Deterministic random inputs matching the program signature. */
+  std::vector<Tensor> RandomInputs(uint64_t seed,
+                                   float index_modulus = 0.0f) const;
+
+  // ---- Inspection ----
+
+  std::string Print() const;
+  int num_inputs() const { return func_->body().num_args(); }
+  Value* input(int i) const { return func_->body().arg(i); }
+  const std::string& input_name(int i) const {
+    return func_->body().arg(i)->name();
+  }
+  bool sealed() const;
+
+  /** Underlying IR, for passes and tools built on the raw substrate. */
+  Func* func() const { return func_; }
+  Module& module() { return *module_; }
+
+ private:
+  struct CaptureTag {};
+  explicit Program(CaptureTag)
+      : module_(std::make_shared<Module>()), func_(nullptr),
+        builder_(nullptr) {}
+
+  // Shared with every Executable partitioned from this program, so
+  // executables (and their Run/Print/Respecialize) outlive the Program.
+  std::shared_ptr<Module> module_;
+  Func* func_;
+  OpBuilder builder_;
+};
+
+}  // namespace partir
+
+#endif  // PARTIR_API_PROGRAM_H_

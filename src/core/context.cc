@@ -16,19 +16,79 @@ int64_t PartitionContext::LocalDimSize(const std::vector<int64_t>& dims,
   return size;
 }
 
+PartitionContext::TileCheck PartitionContext::CheckTileValue(
+    const Value* value, int64_t dim, const std::string& axis) const {
+  if (!mesh_.HasAxis(axis)) return TileCheck::kUnknownAxis;
+  if (!value->type().IsTensor()) return TileCheck::kNotTensor;
+  const TensorType& type = value->tensor_type();
+  if (dim < 0 || dim >= type.rank()) return TileCheck::kDimOutOfRange;
+  const ValueState& current = state(value);
+  if (current.HasAxis(axis)) return TileCheck::kAlreadyTiled;
+  if (IsAtomic(value, axis)) return TileCheck::kAtomic;
+  if (LocalDimSize(type.dims(), current, dim) % mesh_.AxisSize(axis) != 0) {
+    return TileCheck::kIndivisible;
+  }
+  return TileCheck::kOk;
+}
+
 bool PartitionContext::TileValue(Value* value, int64_t dim,
                                  const std::string& axis) {
-  PARTIR_CHECK(mesh_.HasAxis(axis)) << "unknown axis '" << axis << "'";
-  PARTIR_CHECK(value->type().IsTensor()) << "tile target must be a tensor";
-  const TensorType& type = value->tensor_type();
-  PARTIR_CHECK(dim >= 0 && dim < type.rank()) << "tile dim out of range";
-  ValueState& state = value_state_[value];
-  if (state.HasAxis(axis)) return false;
-  if (IsAtomic(value, axis)) return false;
-  int64_t local = LocalDimSize(type.dims(), state, dim);
-  if (local % mesh_.AxisSize(axis) != 0) return false;
-  state.tiles.push_back(ValueTile{axis, dim});
+  switch (CheckTileValue(value, dim, axis)) {
+    // Malformed calls are caller bugs, not infeasible actions: abort, as
+    // the pre-Status API did, so search loops cannot silently prune them.
+    case TileCheck::kUnknownAxis:
+      PARTIR_CHECK(false) << "unknown mesh axis '" << axis << "'";
+      return false;
+    case TileCheck::kNotTensor:
+      PARTIR_CHECK(false) << "tile target must be a tensor";
+      return false;
+    case TileCheck::kDimOutOfRange:
+      PARTIR_CHECK(false) << "tile dim " << dim << " out of range for '"
+                          << value->name() << "'";
+      return false;
+    case TileCheck::kAlreadyTiled:
+    case TileCheck::kAtomic:
+    case TileCheck::kIndivisible:
+      return false;
+    case TileCheck::kOk:
+      break;
+  }
+  value_state_[value].tiles.push_back(ValueTile{axis, dim});
   return true;
+}
+
+Status PartitionContext::TileValueOrError(Value* value, int64_t dim,
+                                          const std::string& axis) {
+  switch (CheckTileValue(value, dim, axis)) {
+    case TileCheck::kUnknownAxis:
+      return InvalidArgumentError("unknown mesh axis '", axis, "' (mesh is ",
+                                  mesh_.ToString(), ")");
+    case TileCheck::kNotTensor:
+      return InvalidArgumentError("tile target '", value->name(),
+                                  "' is not a tensor");
+    case TileCheck::kDimOutOfRange:
+      return InvalidArgumentError("tile dim ", dim, " out of range for '",
+                                  value->name(), "' of rank ",
+                                  value->tensor_type().rank());
+    case TileCheck::kAlreadyTiled:
+      return FailedPreconditionError(
+          "value '", value->name(), "' is already tiled along axis '", axis,
+          "' (on dim ", state(value).DimOfAxis(axis), ")");
+    case TileCheck::kAtomic:
+      return FailedPreconditionError(
+          "value '", value->name(),
+          "' is atomic (kept replicated) on axis '", axis, "'");
+    case TileCheck::kIndivisible:
+      return InvalidArgumentError(
+          "dim ", dim, " of '", value->name(), "' has local size ",
+          LocalDimSize(value->tensor_type().dims(), state(value), dim),
+          ", not divisible by axis '", axis, "' of size ",
+          mesh_.AxisSize(axis));
+    case TileCheck::kOk:
+      break;
+  }
+  value_state_[value].tiles.push_back(ValueTile{axis, dim});
+  return Status::Ok();
 }
 
 void PartitionContext::AtomicValue(Value* value, const std::string& axis) {

@@ -28,6 +28,7 @@
 #include "src/core/factors.h"
 #include "src/ir/ir.h"
 #include "src/mesh/mesh.h"
+#include "src/support/status.h"
 
 namespace partir {
 
@@ -78,9 +79,20 @@ class PartitionContext {
 
   /**
    * tile<value, dim, axis>: declares that `value` is tiled on `dim` along
-   * mesh `axis`. Returns false (without changing state) if the action is
-   * invalid: axis already used on the value, dim not divisible by the axis
-   * size, or the value is atomic on that axis.
+   * mesh `axis`. On failure the state is unchanged and the error message
+   * names the value, dim and axis: unknown axis, non-tensor target, dim out
+   * of range, axis already used on the value, value atomic on the axis, or
+   * local dim size not divisible by the axis size.
+   */
+  Status TileValueOrError(Value* value, int64_t dim, const std::string& axis);
+
+  /**
+   * Allocation-free bool form of TileValueOrError: the feasibility probe of
+   * the MCTS search and the GSPMD baseline, called thousands of times per
+   * search. Returns false only for legitimately infeasible actions
+   * (already tiled, atomic, indivisible); malformed calls (unknown axis,
+   * non-tensor, dim out of range) abort as caller bugs. Prefer
+   * TileValueOrError elsewhere.
    */
   bool TileValue(Value* value, int64_t dim, const std::string& axis);
 
@@ -148,6 +160,19 @@ class PartitionContext {
 
  private:
   friend class Propagator;
+
+  /** Shared feasibility check behind TileValue / TileValueOrError. */
+  enum class TileCheck {
+    kOk,
+    kUnknownAxis,
+    kNotTensor,
+    kDimOutOfRange,
+    kAlreadyTiled,
+    kAtomic,
+    kIndivisible,
+  };
+  TileCheck CheckTileValue(const Value* value, int64_t dim,
+                           const std::string& axis) const;
 
   Func* func_;
   Mesh mesh_;

@@ -37,6 +37,16 @@ class Materializer {
     for (const Value* operand : op.operands()) {
       operands.push_back(Mapped(operand));
     }
+    return CloneOpWithOperands(op, block, std::move(result_type),
+                               std::move(operands));
+  }
+
+  // Clones `op` with explicitly provided operand values (used by the
+  // innermost loop body, where each operand slot carries its own slice —
+  // a value used by several slots must not be unified through the map).
+  Operation* CloneOpWithOperands(const Operation& op, Block& block,
+                                 TensorType result_type,
+                                 std::vector<Value*> operands) {
     std::vector<Type> result_types;
     if (op.num_results() == 1) result_types.push_back(result_type);
     auto clone = std::make_unique<Operation>(op.kind(), std::move(operands),
@@ -142,16 +152,8 @@ class Materializer {
 
     TensorType emit_type = slice_result ? op.result()->tensor_type()
                                         : local_type;
-    std::vector<Value*> saved;
-    // Temporarily remap operands for CloneOpInto.
-    for (int i = 0; i < op.num_operands(); ++i) {
-      saved.push_back(map_[op.operand(i)]);
-      map_[op.operand(i)] = local_operands[i];
-    }
-    Operation* clone = CloneOpInto(op, block, emit_type);
-    for (int i = 0; i < op.num_operands(); ++i) {
-      map_[op.operand(i)] = saved[i];
-    }
+    Operation* clone =
+        CloneOpWithOperands(op, block, emit_type, local_operands);
 
     Value* result = clone->result();
     if (slice_result) {

@@ -88,5 +88,21 @@ ManualPartition GnsES(const std::string& axis) {
       "ES", {{"edges", 0}, {"senders", 0}, {"receivers", 0}}, axis};
 }
 
+std::vector<Tactic> TransformerBPMPZ3(const std::string& batch_axis,
+                                      const std::string& model_axis) {
+  return {TransformerBP(batch_axis), TransformerMP(model_axis),
+          TransformerZ3(batch_axis)};
+}
+
+std::vector<Tactic> TransformerBPMPZ3EMB(const std::string& batch_axis,
+                                         const std::string& model_axis) {
+  return {TransformerBP(batch_axis), TransformerMP(model_axis),
+          TransformerZ3(batch_axis), TransformerEMB(model_axis)};
+}
+
+ManualPartition InferenceBP(const std::string& axis) {
+  return ManualPartition{"BP", {{"tokens", 0}, {"decode_tokens", 0}}, axis};
+}
+
 }  // namespace schedules
 }  // namespace partir

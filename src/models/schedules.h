@@ -1,12 +1,15 @@
 /**
  * @file
  * The partitioning tactics of Appendix A.4, expressed against the model
- * zoo's parameter names. A schedule is a list of these tactics (Table 1);
- * e.g. BP+MP+Z3 for a transformer is
- *   {TransformerBP(), TransformerMP(), TransformerZ3()}.
+ * zoo's parameter names and ready to feed Program::Partition. A schedule is
+ * a list of these tactics (Table 1); e.g. BP+MP+Z3 for a transformer is
+ *   {TransformerBP(), TransformerMP(), TransformerZ3()}
+ * or the composite helper TransformerBPMPZ3().
  */
 #ifndef PARTIR_MODELS_SCHEDULES_H_
 #define PARTIR_MODELS_SCHEDULES_H_
+
+#include <vector>
 
 #include "src/schedule/schedule.h"
 
@@ -48,6 +51,20 @@ ManualPartition UNetZ3(const std::string& axis = "batch");
 
 /** Edge Sharding: partition edge arrays; nodes replicate (Section 7.3). */
 ManualPartition GnsES(const std::string& axis = "batch");
+
+// ---- Composite schedules (ready for Program::Partition) ----
+
+/** The paper's production training schedule BP+MP+Z3 (Section 7.2). */
+std::vector<Tactic> TransformerBPMPZ3(const std::string& batch_axis = "batch",
+                                      const std::string& model_axis = "model");
+
+/** BP+MP+Z3+EMB, the full Table 2/3 configuration. */
+std::vector<Tactic> TransformerBPMPZ3EMB(
+    const std::string& batch_axis = "batch",
+    const std::string& model_axis = "model");
+
+/** Inference batch parallelism over prefill + decode token streams. */
+ManualPartition InferenceBP(const std::string& axis = "batch");
 
 }  // namespace schedules
 }  // namespace partir

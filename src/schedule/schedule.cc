@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "src/core/materialize.h"
+
 namespace partir {
 namespace {
 
@@ -33,9 +35,27 @@ std::vector<Value*> SelectValues(PartitionContext& ctx,
   return matched;
 }
 
-int ApplyActionToValue(PartitionContext& ctx, Value* value, int64_t dim,
-                       const std::string& axis) {
-  if (!value->type().IsTensor()) return 0;
+/**
+ * Applies one (value, dim, axis) action. Returns the number of actions that
+ * took effect (0 or 1). In strict mode a *malformed* explicit-dim tile
+ * (dim out of range, indivisible dim) is an error, while a *state* conflict
+ * (value already tiled or atomic on the axis) is a skip: tactic order
+ * resolves layout conflicts (Section 5.2.3), and re-layout tactics like MQ
+ * legitimately re-declare placements that propagation already inferred.
+ * kFirstDivisibleDim stays best-effort in both modes because its contract
+ * is "shard if some dim divides" (ZeRO-style tactics rely on skipping
+ * values that are already placed or atomic).
+ */
+StatusOr<int> ApplyActionToValue(PartitionContext& ctx, Value* value,
+                                 int64_t dim, const std::string& axis,
+                                 bool strict) {
+  if (!value->type().IsTensor()) {
+    if (strict) {
+      return InvalidArgumentError("matched value '", value->name(),
+                                  "' is not a tensor");
+    }
+    return 0;
+  }
   if (dim == kReplicated) {
     ctx.AtomicValue(value, axis);
     return 1;
@@ -51,25 +71,61 @@ int ApplyActionToValue(PartitionContext& ctx, Value* value, int64_t dim,
     }
     return 0;
   }
-  return ctx.TileValue(value, dim, axis) ? 1 : 0;
+  // Explicit dim: re-stating an existing placement is a no-op, any other
+  // failure carries the TileValue diagnosis.
+  if (ctx.state(value).DimOfAxis(axis) == dim) return 0;
+  Status status = ctx.TileValueOrError(value, dim, axis);
+  if (status.ok()) return 1;
+  if (strict && status.code() != StatusCode::kFailedPrecondition) {
+    return status;
+  }
+  return 0;
 }
 
-}  // namespace
-
-int ApplyManualTactic(PartitionContext& ctx, const ManualPartition& tactic) {
+StatusOr<int> ApplyTactic(PartitionContext& ctx,
+                          const ManualPartition& tactic, bool strict) {
+  if (!ctx.mesh().HasAxis(tactic.axis)) {
+    return InvalidArgumentError("tactic '", tactic.name,
+                                "': unknown mesh axis '", tactic.axis,
+                                "' (mesh is ", ctx.mesh().ToString(), ")");
+  }
   int applied = 0;
   for (const auto& [key, dim] : tactic.inputs) {
     std::vector<Value*> values = SelectValues(ctx, key);
+    if (strict && values.empty()) {
+      return NotFoundError("tactic '", tactic.name, "': key '", key,
+                           "' matches no function input or tagged value");
+    }
     for (Value* value : values) {
-      applied += ApplyActionToValue(ctx, value, dim, tactic.axis);
+      StatusOr<int> action =
+          ApplyActionToValue(ctx, value, dim, tactic.axis, strict);
+      if (!action.ok()) {
+        return Status(action.status().code(),
+                      StrCat("tactic '", tactic.name, "': ",
+                             action.status().message()));
+      }
+      applied += action.value();
     }
   }
   return applied;
 }
 
-PartitionResult PartirJit(PartitionContext& ctx,
-                          const std::vector<Tactic>& schedule,
-                          const PartitionOptions& options) {
+}  // namespace
+
+StatusOr<int> ApplyManualTacticOrError(PartitionContext& ctx,
+                                       const ManualPartition& tactic) {
+  return ApplyTactic(ctx, tactic, /*strict=*/true);
+}
+
+int ApplyManualTactic(PartitionContext& ctx, const ManualPartition& tactic) {
+  StatusOr<int> applied = ApplyTactic(ctx, tactic, /*strict=*/false);
+  if (!applied.ok()) PARTIR_FATAL() << applied.status().ToString();
+  return applied.value();
+}
+
+StatusOr<PartitionResult> PartirJitOrError(PartitionContext& ctx,
+                                           const std::vector<Tactic>& schedule,
+                                           const PartitionOptions& options) {
   PartitionResult result;
   auto total_start = Clock::now();
 
@@ -80,21 +136,37 @@ PartitionResult PartirJit(PartitionContext& ctx,
       report.name = manual->name.empty()
                         ? StrCat("manual(", manual->axis, ")")
                         : manual->name;
-      report.actions_applied = ApplyManualTactic(ctx, *manual);
+      PARTIR_ASSIGN_OR_RETURN(report.actions_applied,
+                              ApplyManualTacticOrError(ctx, *manual));
       if (options.incremental) ctx.Propagate();
     } else {
       const auto& automatic = std::get<AutomaticPartition>(tactic);
       report.name = automatic.name.empty() ? "auto" : automatic.name;
+      for (const std::string& axis : automatic.axes) {
+        if (!ctx.mesh().HasAxis(axis)) {
+          return InvalidArgumentError("tactic '", report.name,
+                                      "': unknown mesh axis '", axis,
+                                      "' (mesh is ", ctx.mesh().ToString(),
+                                      ")");
+        }
+      }
       AutoOptions auto_options = automatic.options;
       auto_options.device = options.device;
       AutoResult found =
           AutomaticallyPartition(ctx, automatic.axes, auto_options);
       report.actions_applied = static_cast<int>(found.actions.size());
+      report.evaluations = found.evaluations;
+      report.search_seconds = found.search_seconds;
     }
     report.conflicts = static_cast<int>(ctx.conflicts().size());
     report.tactic_seconds = SecondsSince(tactic_start);
 
+    if (options.capture_stages) {
+      report.loop_module = MaterializeLoops(ctx);
+    }
     if (options.per_tactic_reports) {
+      // Internal snapshot: state reached via checked actions cannot fail
+      // the lowering validation, so take the unchecked path.
       SpmdModule snapshot = LowerToSpmd(ctx);
       OptimizeSpmd(snapshot);
       report.collectives = CountCollectives(*snapshot.module, snapshot.mesh);
@@ -105,7 +177,17 @@ PartitionResult PartirJit(PartitionContext& ctx,
 
   if (!options.incremental) ctx.Propagate();  // PartIR-st: one propagation
 
-  result.spmd = LowerToSpmd(ctx);
+  if (options.capture_stages) {
+    // In incremental mode the context is unchanged since the last tactic's
+    // capture, so alias it instead of cloning the module again.
+    if (options.incremental && !result.tactics.empty() &&
+        result.tactics.back().loop_module != nullptr) {
+      result.loop_module = result.tactics.back().loop_module;
+    } else {
+      result.loop_module = MaterializeLoops(ctx);
+    }
+  }
+  PARTIR_ASSIGN_OR_RETURN(result.spmd, LowerToSpmdOrError(ctx));
   OptimizeSpmd(result.spmd);
   result.collectives = CountCollectives(*result.spmd.module,
                                         result.spmd.mesh);
@@ -113,6 +195,14 @@ PartitionResult PartirJit(PartitionContext& ctx,
   result.conflicts = ctx.conflicts();
   result.partition_seconds = SecondsSince(total_start);
   return result;
+}
+
+PartitionResult PartirJit(PartitionContext& ctx,
+                          const std::vector<Tactic>& schedule,
+                          const PartitionOptions& options) {
+  StatusOr<PartitionResult> result = PartirJitOrError(ctx, schedule, options);
+  if (!result.ok()) PARTIR_FATAL() << result.status().ToString();
+  return std::move(result).value();
 }
 
 }  // namespace partir

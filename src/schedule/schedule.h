@@ -13,6 +13,7 @@
 #define PARTIR_SCHEDULE_SCHEDULE_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <variant>
 #include <vector>
@@ -22,6 +23,7 @@
 #include "src/sim/cost_model.h"
 #include "src/spmd/lowering.h"
 #include "src/spmd/optimize.h"
+#include "src/support/status.h"
 
 namespace partir {
 
@@ -63,6 +65,12 @@ struct TacticReport {
   CollectiveStats collectives;   // after lowering this tactic's prefix
   SimEstimate estimate;          // simulator estimate of the prefix
   double tactic_seconds = 0;     // wall-clock spent in this tactic
+  int evaluations = 0;           // simulator evaluations (automatic tactics)
+  double search_seconds = 0;     // search wall-clock (automatic tactics)
+  /** PartIR:Core loop form after this tactic's prefix (the paper's
+   *  per-tactic verification artifact); set when
+   *  PartitionOptions::capture_stages is true. */
+  std::shared_ptr<const Module> loop_module;
 };
 
 /** Pipeline options. */
@@ -76,6 +84,11 @@ struct PartitionOptions {
   bool incremental = true;
   /** Lower + simulate after every tactic (per-tactic metadata). */
   bool per_tactic_reports = true;
+  /** Materialize the loop form after every tactic so Executable::Print can
+   *  render any tactic prefix (the paper's per-tactic verification
+   *  workflow). Each capture clones the module and is retained for the
+   *  executable's lifetime, so it is opt-in. */
+  bool capture_stages = false;
 };
 
 /** Result of running a schedule. */
@@ -86,14 +99,40 @@ struct PartitionResult {
   std::vector<TacticReport> tactics;   // per-tactic metadata
   double partition_seconds = 0;        // total PartIR time (Figure 8)
   std::vector<Conflict> conflicts;     // all recorded conflicts
+  /** Loop form after the full schedule (capture_stages). */
+  std::shared_ptr<const Module> loop_module;
 };
 
-/** Runs a schedule against a partition context (Table 1's PartIR.jit). */
+/**
+ * Runs a schedule against a partition context (Table 1's PartIR.jit).
+ * Errors are typed and message-carrying: a tactic axis missing from the
+ * mesh, a ManualPartition key matching zero inputs, or an explicit tile dim
+ * that cannot be sharded all fail the whole pipeline instead of silently
+ * changing the strategy.
+ */
+StatusOr<PartitionResult> PartirJitOrError(
+    PartitionContext& ctx, const std::vector<Tactic>& schedule,
+    const PartitionOptions& options = {});
+
+/**
+ * Applies one manual tactic's actions; returns #actions applied. Errors
+ * when the tactic's axis is not a mesh axis, when a key matches zero
+ * inputs/tags (naming the key), or when an explicit-dim action fails
+ * (indivisible dim, axis conflict). kFirstDivisibleDim actions remain
+ * best-effort: a value with no divisible dim is skipped, not an error.
+ */
+StatusOr<int> ApplyManualTacticOrError(PartitionContext& ctx,
+                                       const ManualPartition& tactic);
+
+/** Deprecated abort-on-error form of PartirJitOrError. */
 PartitionResult PartirJit(PartitionContext& ctx,
                           const std::vector<Tactic>& schedule,
                           const PartitionOptions& options = {});
 
-/** Applies one manual tactic's actions; returns #actions applied. */
+/**
+ * Deprecated silent best-effort form of ApplyManualTacticOrError: unmatched
+ * keys and failed actions are skipped without diagnosis.
+ */
 int ApplyManualTactic(PartitionContext& ctx, const ManualPartition& tactic);
 
 }  // namespace partir

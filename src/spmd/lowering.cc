@@ -223,6 +223,58 @@ class SpmdLowering {
 
 }  // namespace
 
+namespace {
+
+/** Preconditions under which the lowering's internal CHECKs cannot fire. */
+Status ValidateLowerable(const PartitionContext& ctx) {
+  if (ctx.mesh().num_axes() == 0) {
+    return FailedPreconditionError(
+        "cannot lower to SPMD over an empty mesh (no axes)");
+  }
+  const Func& func = *ctx.func();
+  if (func.body().num_ops() == 0 ||
+      func.body().ops().back()->kind() != OpKind::kReturn) {
+    return FailedPreconditionError(
+        "function '", func.name(),
+        "' has no return terminator; finish building it before lowering");
+  }
+  Status status = Status::Ok();
+  auto check_value = [&](const Value* value) {
+    if (!status.ok() || !value->type().IsTensor()) return;
+    const std::vector<int64_t>& dims = value->tensor_type().dims();
+    std::vector<int64_t> local = dims;
+    for (const ValueTile& tile : ctx.RealizedTiles(value)) {
+      if (!ctx.mesh().HasAxis(tile.axis)) {
+        status = InternalError("value '", value->name(),
+                               "' is tiled along unknown mesh axis '",
+                               tile.axis, "'");
+        return;
+      }
+      if (tile.dim < 0 || tile.dim >= static_cast<int64_t>(local.size()) ||
+          local[tile.dim] % ctx.mesh().AxisSize(tile.axis) != 0) {
+        status = FailedPreconditionError(
+            "value '", value->name(), "' cannot be sharded: dim ", tile.dim,
+            " does not divide by axis '", tile.axis, "' of size ",
+            ctx.mesh().AxisSize(tile.axis));
+        return;
+      }
+      local[tile.dim] /= ctx.mesh().AxisSize(tile.axis);
+    }
+  };
+  for (const auto& arg : func.body().args()) check_value(arg.get());
+  WalkOps(func.body(), [&](const Operation& op) {
+    for (int i = 0; i < op.num_results(); ++i) check_value(op.result(i));
+  });
+  return status;
+}
+
+}  // namespace
+
+StatusOr<SpmdModule> LowerToSpmdOrError(const PartitionContext& ctx) {
+  PARTIR_RETURN_IF_ERROR(ValidateLowerable(ctx));
+  return LowerToSpmd(ctx);
+}
+
 SpmdModule LowerToSpmd(const PartitionContext& ctx) {
   SpmdModule result;
   result.module = std::make_unique<Module>();

@@ -22,6 +22,7 @@
 #include "src/core/context.h"
 #include "src/ir/ir.h"
 #include "src/mesh/mesh.h"
+#include "src/support/status.h"
 
 namespace partir {
 
@@ -44,7 +45,18 @@ struct SpmdModule {
 /**
  * Lowers the context's function to a device-local SPMD module. The returned
  * module is unoptimized; run OptimizeSpmd (optimize.h) before counting
- * collectives or estimating cost.
+ * collectives or estimating cost. Returns a typed error (instead of
+ * aborting) when the context is not lowerable: empty mesh, an unterminated
+ * function body, or partitioning state whose tiles do not divide the value
+ * dims they shard.
+ */
+StatusOr<SpmdModule> LowerToSpmdOrError(const PartitionContext& ctx);
+
+/**
+ * Unchecked form of LowerToSpmdOrError: no validation pass, internal
+ * invariants abort on violation. The compiler-internal hot path (the MCTS
+ * search lowers once per candidate evaluation); facade code should prefer
+ * LowerToSpmdOrError.
  */
 SpmdModule LowerToSpmd(const PartitionContext& ctx);
 

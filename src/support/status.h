@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Status / StatusOr<T>: typed, message-carrying error handling for the
+ * public compiler surface (absl::Status-flavoured, dependency-free).
+ *
+ * The partitioning stack historically reported user errors as silent `bool`
+ * returns or CHECK-aborts. Everything reachable from the `partir::Program` /
+ * `partir::Executable` facade instead returns a Status (or StatusOr<T>)
+ * whose message names the offending schedule key, axis or dimension, so a
+ * typo in a schedule is a diagnosable error instead of a silently different
+ * partitioning strategy.
+ */
+#ifndef PARTIR_SUPPORT_STATUS_H_
+#define PARTIR_SUPPORT_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/support/check.h"
+#include "src/support/str_util.h"
+
+namespace partir {
+
+/** Canonical error space (a pragmatic subset of absl's codes). */
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,     // the request itself is malformed (bad axis, dim)
+  kNotFound,            // a schedule key matched nothing
+  kFailedPrecondition,  // valid request, wrong state (unsealed program, ...)
+  kInternal,            // invariant violation surfaced as an error
+  kUnimplemented,
+};
+
+/** Printable name of a status code ("INVALID_ARGUMENT", ...). */
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+  }
+  return "UNKNOWN";
+}
+
+/** An error code plus a human-readable message; OK carries no message. */
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /** "INVALID_ARGUMENT: unknown mesh axis 'Q'" (or "OK"). */
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return StrCat(StatusCodeName(code_), ": ", message_);
+  }
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/** Builders for the common error codes; arguments are StrCat'ed. */
+template <typename... Args>
+Status InvalidArgumentError(const Args&... args) {
+  return Status(StatusCode::kInvalidArgument, StrCat(args...));
+}
+template <typename... Args>
+Status NotFoundError(const Args&... args) {
+  return Status(StatusCode::kNotFound, StrCat(args...));
+}
+template <typename... Args>
+Status FailedPreconditionError(const Args&... args) {
+  return Status(StatusCode::kFailedPrecondition, StrCat(args...));
+}
+template <typename... Args>
+Status InternalError(const Args&... args) {
+  return Status(StatusCode::kInternal, StrCat(args...));
+}
+template <typename... Args>
+Status UnimplementedError(const Args&... args) {
+  return Status(StatusCode::kUnimplemented, StrCat(args...));
+}
+
+/**
+ * Either a value or a non-OK Status. Works with move-only payloads
+ * (Executable, SpmdModule). Accessing value() on an error aborts with the
+ * carried message, so unchecked facade misuse still fails loudly.
+ */
+template <typename T>
+class StatusOr {
+ public:
+  /** Implicit from an error status (must not be OK). */
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    PARTIR_CHECK(!status_.ok())
+        << "StatusOr constructed from OK status without a value";
+  }
+  /** Implicit from a value. */
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    PARTIR_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    PARTIR_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    PARTIR_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value
+  std::optional<T> value_;
+};
+
+namespace status_internal {
+/** Helper so the macros work on both Status and StatusOr expressions. */
+inline const Status& ToStatus(const Status& status) { return status; }
+template <typename T>
+const Status& ToStatus(const StatusOr<T>& status_or) {
+  return status_or.status();
+}
+}  // namespace status_internal
+
+}  // namespace partir
+
+#define PARTIR_STATUS_CONCAT_INNER_(x, y) x##y
+#define PARTIR_STATUS_CONCAT_(x, y) PARTIR_STATUS_CONCAT_INNER_(x, y)
+
+/** Evaluates `expr` (a Status); returns it from the caller if non-OK. */
+#define PARTIR_RETURN_IF_ERROR(expr)                                       \
+  do {                                                                     \
+    auto partir_status_tmp_ = (expr);                                      \
+    if (!::partir::status_internal::ToStatus(partir_status_tmp_).ok()) {   \
+      return ::partir::status_internal::ToStatus(partir_status_tmp_);      \
+    }                                                                      \
+  } while (false)
+
+/** Evaluates `expr` (a StatusOr); assigns its value to `lhs` or returns. */
+#define PARTIR_ASSIGN_OR_RETURN(lhs, expr)                                 \
+  PARTIR_ASSIGN_OR_RETURN_IMPL_(                                           \
+      PARTIR_STATUS_CONCAT_(partir_statusor_, __LINE__), lhs, expr)
+
+#define PARTIR_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, expr)                 \
+  auto statusor = (expr);                                                  \
+  if (!statusor.ok()) return statusor.status();                            \
+  lhs = std::move(statusor).value()
+
+#endif  // PARTIR_SUPPORT_STATUS_H_

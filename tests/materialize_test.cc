@@ -294,5 +294,31 @@ INSTANTIATE_TEST_SUITE_P(
                       SweepParam{2, 2, 2}, SweepParam{2, 4, 2},
                       SweepParam{4, 4, 1}, SweepParam{4, 4, 2}));
 
+TEST(MaterializeTest, SelfMatmulSlicesEachOperandSlotIndependently) {
+  // matmul(x, x): the same value feeds both operand slots, and a #sum loop
+  // over the contraction slices slot 0 on dim 1 but slot 1 on dim 0.
+  // Regression test for the materializer unifying duplicate operands
+  // through its value map (both slots got the last slot's slice).
+  Module module;
+  Func* func = module.AddFunc("main");
+  Value* x = func->body().AddArg(TensorType({32, 32}), "x");
+  OpBuilder builder(&func->body());
+  builder.Return({builder.MatMul(x, x)});
+  PartitionContext ctx(func, Mesh({{"B", 4}}));
+
+  // Seeding x on either dim is ambiguous for a self-matmul (two TMR
+  // entries match), so force the contraction factor directly.
+  Operation* dot = func->body().ops()[0].get();
+  OpShardingSpec spec = GetShardingSpec(*dot);
+  int contraction = -1;
+  for (int i = 0; i < static_cast<int>(spec.factors.size()); ++i) {
+    if (spec.factors[i].contracting) contraction = i;
+  }
+  ASSERT_GE(contraction, 0);
+  ASSERT_TRUE(ctx.ForceOpAxis(dot, "B", contraction));
+
+  ExpectLoopFormEquivalent(ctx, /*seed=*/21);
+}
+
 }  // namespace
 }  // namespace partir
