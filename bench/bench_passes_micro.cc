@@ -86,8 +86,9 @@ void BM_OptimizeSpmd(benchmark::State& state) {
 BENCHMARK(BM_OptimizeSpmd)->Arg(16)->Arg(64)->Arg(256);
 
 // The whole facade pipeline (actions -> propagation -> lowering ->
-// collective optimization) through one Program::Partition call; the trace
-// is reused across iterations, as in multi-query serving.
+// collective optimization) through one Program::Partition call. The
+// partition cache is disabled so every iteration measures the pipeline
+// itself, not the memoized hit path (bench_run_throughput covers that).
 void BM_FacadePartition(benchmark::State& state) {
   int64_t layers = state.range(0);
   Program program("main");
@@ -106,6 +107,7 @@ void BM_FacadePartition(benchmark::State& state) {
   PartitionOptions options;
   options.per_tactic_reports = false;
   options.capture_stages = false;
+  options.use_cache = false;
   for (auto _ : state) {
     StatusOr<Executable> exe =
         program.Partition({Tactic(bp)}, Mesh({{"B", 4}}), options);

@@ -59,6 +59,85 @@ inline std::string Fmt(double value, const char* format = "%.2f") {
   return std::string(buffer);
 }
 
+/**
+ * Minimal JSON writer for machine-readable bench output (one object or
+ * array per report line; no external dependency). Keys and string values
+ * are emitted verbatim — callers pass plain identifiers.
+ *
+ *   JsonWriter json;
+ *   json.BeginObject().Key("threads").Value(8).Key("ms").Value(12.5);
+ *   json.EndObject();
+ *   std::printf("%s\n", json.str().c_str());
+ */
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject() { return Open('{'); }
+  JsonWriter& EndObject() { return Close('}'); }
+  JsonWriter& BeginArray() { return Open('['); }
+  JsonWriter& EndArray() { return Close(']'); }
+
+  JsonWriter& Key(const std::string& name) {
+    Separate();
+    out_ += '"';
+    out_ += name;
+    out_ += "\":";
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& Value(const std::string& value) {
+    Separate();
+    out_ += '"';
+    out_ += value;
+    out_ += '"';
+    return *this;
+  }
+  JsonWriter& Value(const char* value) { return Value(std::string(value)); }
+  JsonWriter& Value(double value) {
+    Separate();
+    out_ += Fmt(value, "%.6g");
+    return *this;
+  }
+  JsonWriter& Value(int64_t value) {
+    Separate();
+    out_ += std::to_string(value);
+    return *this;
+  }
+  JsonWriter& Value(int value) { return Value(static_cast<int64_t>(value)); }
+  JsonWriter& Value(bool value) {
+    Separate();
+    out_ += value ? "true" : "false";
+    return *this;
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  JsonWriter& Open(char bracket) {
+    Separate();
+    out_ += bracket;
+    need_comma_ = false;
+    return *this;
+  }
+  JsonWriter& Close(char bracket) {
+    out_ += bracket;
+    need_comma_ = true;
+    return *this;
+  }
+  void Separate() {
+    if (pending_value_) {
+      pending_value_ = false;  // value follows its key, no comma
+      return;
+    }
+    if (need_comma_) out_ += ',';
+    need_comma_ = true;
+  }
+
+  std::string out_;
+  bool need_comma_ = false;
+  bool pending_value_ = false;
+};
+
 }  // namespace bench
 }  // namespace partir
 

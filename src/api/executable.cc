@@ -1,5 +1,7 @@
 #include "src/api/executable.h"
 
+#include "src/api/partition_cache.h"
+#include "src/ir/fingerprint.h"
 #include "src/ir/printer.h"
 #include "src/spmd/spmd_interpreter.h"
 
@@ -28,9 +30,9 @@ Status ValidateInputs(const Func& func, const std::vector<Tensor>& inputs) {
 }  // namespace api_internal
 
 StatusOr<std::vector<Tensor>> Executable::Run(
-    const std::vector<Tensor>& inputs) const {
+    const std::vector<Tensor>& inputs, const RunOptions& options) const {
   PARTIR_RETURN_IF_ERROR(api_internal::ValidateInputs(*traced_, inputs));
-  return RunSpmd(result_.spmd, inputs);
+  return RunSpmd(result_.spmd, inputs, options);
 }
 
 SimEstimate Executable::Estimate(const DeviceSpec& device) const {
@@ -78,10 +80,13 @@ StatusOr<Executable> Executable::Respecialize(
 StatusOr<Executable> Executable::Respecialize(
     const std::vector<Tactic>& new_schedule,
     const PartitionOptions& options) const {
-  PartitionContext ctx(traced_, mesh());
-  PARTIR_ASSIGN_OR_RETURN(PartitionResult result,
-                          PartirJitOrError(ctx, new_schedule, options));
-  return Executable(module_, traced_, options, std::move(result));
+  // Fingerprint the live trace (not a snapshot from construction time) so
+  // a trace mutated since Partition can never serve a stale cache entry.
+  PARTIR_ASSIGN_OR_RETURN(
+      PartitionResult result,
+      PartitionThroughCache(*cache_, FingerprintFunc(*traced_), traced_,
+                            mesh(), new_schedule, options));
+  return Executable(module_, traced_, options, std::move(result), cache_);
 }
 
 }  // namespace partir

@@ -17,9 +17,12 @@
 
 #include "src/interp/tensor.h"
 #include "src/schedule/schedule.h"
+#include "src/spmd/spmd_interpreter.h"
 #include "src/support/status.h"
 
 namespace partir {
+
+class PartitionCache;
 
 namespace api_internal {
 /** Validates input count and shapes against a function signature. */
@@ -64,8 +67,14 @@ class Executable {
    * *global* tensors of the traced program; they are sharded per the input
    * shardings, and the global outputs are reassembled. Input count, rank
    * and dims are validated up front with typed errors.
+   *
+   * By default every simulated device runs on its own thread with
+   * rendezvous collectives (RunOptions); options.num_threads == 1 selects
+   * the sequential reference walker, whose outputs are bit-identical to
+   * the threaded runtime's under the (default) deterministic mode.
    */
-  StatusOr<std::vector<Tensor>> Run(const std::vector<Tensor>& inputs) const;
+  StatusOr<std::vector<Tensor>> Run(const std::vector<Tensor>& inputs,
+                                    const RunOptions& options = {}) const;
 
   // ---- Cost estimation ----
 
@@ -101,9 +110,14 @@ class Executable {
   }
 
   /** The lowered device-local module (mutable form hands the module to a
-   *  backend stand-in; the facade itself never mutates it after build). */
+   *  backend stand-in; the facade itself never mutates it after build).
+   *  Mutable access drops the precomputed collective plan — the next Run
+   *  re-plans against whatever the backend left behind. */
   const SpmdModule& spmd() const { return result_.spmd; }
-  SpmdModule& mutable_spmd() { return result_.spmd; }
+  SpmdModule& mutable_spmd() {
+    result_.spmd.plan.reset();
+    return result_.spmd;
+  }
 
   // ---- Re-partitioning ----
 
@@ -112,7 +126,9 @@ class Executable {
    * under a new schedule (same mesh and options), reusing the trace — the
    * entry point for incremental strategy exploration and multi-query
    * serving, where one traced program is specialized per query shape or
-   * per sharding strategy.
+   * per sharding strategy. Served through the originating Program's
+   * partition cache: a schedule seen before (by Partition or another
+   * Respecialize) skips the pipeline.
    */
   StatusOr<Executable> Respecialize(
       const std::vector<Tactic>& new_schedule) const;
@@ -123,14 +139,17 @@ class Executable {
   friend class Program;
 
   Executable(std::shared_ptr<Module> module, Func* traced,
-             PartitionOptions options, PartitionResult result)
+             PartitionOptions options, PartitionResult result,
+             std::shared_ptr<PartitionCache> cache)
       : module_(std::move(module)), traced_(traced),
-        options_(std::move(options)), result_(std::move(result)) {}
+        options_(std::move(options)), result_(std::move(result)),
+        cache_(std::move(cache)) {}
 
   std::shared_ptr<Module> module_;  // keeps the traced IR alive
   Func* traced_;                    // the traced function inside module_
   PartitionOptions options_;
   PartitionResult result_;  // its spmd.mesh is the mesh of record
+  std::shared_ptr<PartitionCache> cache_;  // the Program's partition cache
 };
 
 }  // namespace partir

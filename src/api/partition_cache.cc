@@ -1,0 +1,151 @@
+#include "src/api/partition_cache.h"
+
+#include <cstdio>
+
+#include "src/ir/passes.h"
+#include "src/spmd/collectives.h"
+
+namespace partir {
+
+std::shared_ptr<const PartitionResult> PartitionCache::Lookup(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second.recency);
+  return it->second.result;
+}
+
+void PartitionCache::Insert(const std::string& key,
+                            std::shared_ptr<const PartitionResult> result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.result = std::move(result);
+    lru_.splice(lru_.begin(), lru_, it->second.recency);
+    return;
+  }
+  lru_.push_front(key);
+  entries_[key] = Entry{std::move(result), lru_.begin()};
+  while (static_cast<int64_t>(entries_.size()) > capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+PartitionCacheStats PartitionCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PartitionCacheStats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.entries = static_cast<int64_t>(entries_.size());
+  stats.capacity = capacity_;
+  return stats;
+}
+
+namespace {
+
+/** Round-trippable double serialization (StrCat would truncate digits). */
+std::string DoubleKey(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return std::string(buffer);
+}
+
+/** Length-prefixed user string: delimiter characters inside tactic names,
+ *  schedule keys or axis names cannot forge another request's key. */
+std::string StrKey(const std::string& value) {
+  return StrCat(value.size(), "~", value);
+}
+
+std::string DeviceKey(const DeviceSpec& device) {
+  return StrCat(StrKey(device.name), ",", DoubleKey(device.peak_flops), ",",
+                DoubleKey(device.hbm_bytes), ",",
+                DoubleKey(device.mem_bandwidth), ",",
+                DoubleKey(device.link_bandwidth), ",",
+                DoubleKey(device.link_latency_s), ",",
+                DoubleKey(device.compute_efficiency));
+}
+
+std::string TacticKey(const Tactic& tactic) {
+  if (const auto* manual = std::get_if<ManualPartition>(&tactic)) {
+    return StrCat("manual{", StrKey(manual->name), "|",
+                  StrKey(manual->axis), "|",
+                  StrJoin(manual->inputs, ";",
+                          [](const std::pair<std::string, int64_t>& input) {
+                            return StrCat(StrKey(input.first), ":",
+                                          input.second);
+                          }),
+                  "}");
+  }
+  const auto& automatic = std::get<AutomaticPartition>(tactic);
+  const AutoOptions& options = automatic.options;
+  return StrCat("auto{", StrKey(automatic.name), "|",
+                StrJoin(automatic.axes, ";", StrKey), "|",
+                options.simulations, ",", options.max_actions, ",",
+                options.max_candidates, ",", DoubleKey(options.exploration),
+                ",", options.seed, ",", DeviceKey(options.device), "}");
+}
+
+std::string MeshKey(const Mesh& mesh) {
+  return StrJoin(mesh.axes(), ",", [](const MeshAxis& axis) {
+    return StrCat(StrKey(axis.name), ":", axis.size);
+  });
+}
+
+}  // namespace
+
+std::string PartitionCacheKey(uint64_t trace_fingerprint,
+                              const std::vector<Tactic>& schedule,
+                              const Mesh& mesh,
+                              const PartitionOptions& options) {
+  return StrCat(
+      "trace:", trace_fingerprint, "|mesh:", MeshKey(mesh),
+      "|opts:", DeviceKey(options.device), ",", options.incremental, ",",
+      options.per_tactic_reports, ",", options.capture_stages,
+      "|schedule:", StrJoin(schedule, ",", TacticKey));
+}
+
+PartitionResult ClonePartitionResult(const PartitionResult& result) {
+  PartitionResult out;
+  out.spmd.module = CloneModule(*result.spmd.module);
+  out.spmd.mesh = result.spmd.mesh;
+  out.spmd.input_shardings = result.spmd.input_shardings;
+  out.spmd.output_shardings = result.spmd.output_shardings;
+  out.spmd.plan = BuildCollectivePlan(out.spmd.mesh, *out.spmd.module);
+  out.collectives = result.collectives;
+  out.estimate = result.estimate;
+  out.tactics = result.tactics;  // loop-form captures are immutable, shared
+  out.partition_seconds = result.partition_seconds;
+  out.conflicts = result.conflicts;
+  out.loop_module = result.loop_module;
+  return out;
+}
+
+StatusOr<PartitionResult> PartitionThroughCache(
+    PartitionCache& cache, uint64_t trace_fingerprint, Func* traced,
+    const Mesh& mesh, const std::vector<Tactic>& schedule,
+    const PartitionOptions& options) {
+  if (!options.use_cache) {
+    PartitionContext ctx(traced, mesh);
+    return PartirJitOrError(ctx, schedule, options);
+  }
+  const std::string key =
+      PartitionCacheKey(trace_fingerprint, schedule, mesh, options);
+  if (std::shared_ptr<const PartitionResult> hit = cache.Lookup(key)) {
+    return ClonePartitionResult(*hit);
+  }
+  PartitionContext ctx(traced, mesh);
+  PARTIR_ASSIGN_OR_RETURN(PartitionResult result,
+                          PartirJitOrError(ctx, schedule, options));
+  cache.Insert(key,
+               std::make_shared<const PartitionResult>(
+                   ClonePartitionResult(result)));
+  return result;
+}
+
+}  // namespace partir

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The Program partition cache: memoizes the whole Partition pipeline
+ * (actions -> propagation -> SPMD lowering -> collective optimization) on
+ * the canonical key (trace fingerprint, schedule, mesh, options). Repeated
+ * Partition / Respecialize calls with an identical request — the
+ * multi-query serving pattern, where one traced program is specialized per
+ * query shape or sharding strategy over and over — skip the pipeline
+ * entirely and clone the cached device-local module instead.
+ *
+ * Entries are immutable; every hit hands out a fresh clone of the lowered
+ * module (with its own collective plan), so executables stay independently
+ * mutable. The cache itself is thread-safe.
+ */
+#ifndef PARTIR_API_PARTITION_CACHE_H_
+#define PARTIR_API_PARTITION_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/schedule/schedule.h"
+
+namespace partir {
+
+/** Hit/miss counters of a partition cache. */
+struct PartitionCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t entries = 0;
+  int64_t capacity = 0;
+};
+
+/**
+ * Thread-safe LRU map from canonical partition-request keys to results.
+ * Bounded: every entry pins a full cloned module, so a serving process
+ * partitioning a stream of distinct strategies evicts the least recently
+ * used entry instead of growing without bound.
+ */
+class PartitionCache {
+ public:
+  static constexpr int64_t kDefaultCapacity = 256;
+
+  explicit PartitionCache(int64_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {}
+
+  /** Returns the cached result (refreshing its recency), counting a hit;
+   *  null counts a miss. */
+  std::shared_ptr<const PartitionResult> Lookup(const std::string& key);
+
+  /** Inserts (or replaces) an entry, evicting the least recently used
+   *  entry when over capacity. */
+  void Insert(const std::string& key,
+              std::shared_ptr<const PartitionResult> result);
+
+  PartitionCacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const PartitionResult> result;
+    std::list<std::string>::iterator recency;  // position in lru_
+  };
+
+  mutable std::mutex mu_;
+  int64_t capacity_;
+  std::list<std::string> lru_;  // front = most recently used
+  std::map<std::string, Entry> entries_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+/**
+ * Canonical key of one partition request. Every field that changes the
+ * pipeline's outcome (or its reported metadata) is serialized: the trace
+ * fingerprint, each tactic with its full configuration, the mesh, and the
+ * options including the device spec.
+ */
+std::string PartitionCacheKey(uint64_t trace_fingerprint,
+                              const std::vector<Tactic>& schedule,
+                              const Mesh& mesh,
+                              const PartitionOptions& options);
+
+/**
+ * Deep copy of a partition result: re-clones the device-local module and
+ * rebuilds its collective plan, so the copy is independently mutable.
+ * Per-tactic loop-form captures are immutable and shared.
+ */
+PartitionResult ClonePartitionResult(const PartitionResult& result);
+
+/**
+ * Runs a partition request through `cache`: a hit returns a clone of the
+ * cached result; a miss runs PartirJitOrError on a fresh context over
+ * `traced` and populates the cache. Pipeline errors are not cached.
+ */
+StatusOr<PartitionResult> PartitionThroughCache(
+    PartitionCache& cache, uint64_t trace_fingerprint, Func* traced,
+    const Mesh& mesh, const std::vector<Tactic>& schedule,
+    const PartitionOptions& options);
+
+}  // namespace partir
+
+#endif  // PARTIR_API_PARTITION_CACHE_H_

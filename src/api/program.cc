@@ -1,6 +1,7 @@
 #include "src/api/program.h"
 
 #include "src/interp/interpreter.h"
+#include "src/ir/fingerprint.h"
 #include "src/ir/printer.h"
 
 namespace partir {
@@ -33,6 +34,10 @@ bool Program::sealed() const {
          func_->body().ops().back()->kind() == OpKind::kReturn;
 }
 
+uint64_t Program::TraceFingerprint() const {
+  return FingerprintFunc(*func_);
+}
+
 StatusOr<Executable> Program::Partition(const std::vector<Tactic>& schedule,
                                         const Mesh& mesh,
                                         const PartitionOptions& options) {
@@ -44,10 +49,11 @@ StatusOr<Executable> Program::Partition(const std::vector<Tactic>& schedule,
   if (mesh.num_axes() == 0) {
     return InvalidArgumentError("cannot partition over an empty mesh");
   }
-  PartitionContext ctx(func_, mesh);
-  PARTIR_ASSIGN_OR_RETURN(PartitionResult result,
-                          PartirJitOrError(ctx, schedule, options));
-  return Executable(module_, func_, options, std::move(result));
+  PARTIR_ASSIGN_OR_RETURN(
+      PartitionResult result,
+      PartitionThroughCache(*cache_, TraceFingerprint(), func_, mesh,
+                            schedule, options));
+  return Executable(module_, func_, options, std::move(result), cache_);
 }
 
 StatusOr<std::vector<Tensor>> Program::Evaluate(

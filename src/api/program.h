@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "src/api/executable.h"
+#include "src/api/partition_cache.h"
 #include "src/interp/tensor.h"
 #include "src/ir/builder.h"
 #include "src/schedule/schedule.h"
@@ -72,10 +73,25 @@ class Program {
    * and returns a runnable Executable with per-tactic metadata. The
    * program can be partitioned repeatedly (each call starts from a fresh
    * partitioning state; the trace itself is never mutated).
+   *
+   * Results are memoized on (trace fingerprint, schedule, mesh, options):
+   * a repeated identical request is a cache hit that skips the pipeline
+   * and clones the cached device-local module instead. Respecialize shares
+   * the same cache; see cache_stats().
    */
   StatusOr<Executable> Partition(const std::vector<Tactic>& schedule,
                                  const Mesh& mesh,
                                  const PartitionOptions& options = {});
+
+  /** Hit/miss counters of the partition cache (shared with every
+   *  Executable partitioned from this program). */
+  PartitionCacheStats cache_stats() const { return cache_->stats(); }
+
+  /** Structural fingerprint of the traced program — the trace component
+   *  of the partition-cache key. Computed fresh on every call (it walks
+   *  the trace once), so post-trace mutations through module()/builder()
+   *  can never serve a stale cache entry. */
+  uint64_t TraceFingerprint() const;
 
   // ---- Reference execution ----
 
@@ -113,6 +129,8 @@ class Program {
   std::shared_ptr<Module> module_;
   Func* func_;
   OpBuilder builder_;
+  // Partition memoization, shared with executables so Respecialize hits it.
+  std::shared_ptr<PartitionCache> cache_ = std::make_shared<PartitionCache>();
 };
 
 }  // namespace partir

@@ -1,0 +1,127 @@
+#include "src/ir/fingerprint.h"
+
+#include <cstring>
+#include <map>
+
+namespace partir {
+
+void FingerprintHasher::Mix(uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    MixByte(static_cast<unsigned char>(value >> (8 * i)));
+  }
+}
+
+void FingerprintHasher::Mix(double value) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value), "double is not 64-bit");
+  std::memcpy(&bits, &value, sizeof(bits));
+  Mix(bits);
+}
+
+void FingerprintHasher::Mix(const std::string& value) {
+  Mix(static_cast<uint64_t>(value.size()));
+  for (char c : value) MixByte(static_cast<unsigned char>(c));
+}
+
+namespace {
+
+/** Assigns dense ids to values in definition order so operand wiring
+ *  hashes position-independently of pointer values. */
+class FuncFingerprinter {
+ public:
+  uint64_t Run(const Func& func) {
+    hasher_.Mix(func.name());
+    HashBlock(func.body());
+    return hasher_.digest();
+  }
+
+ private:
+  void HashType(const Type& type) {
+    if (type.IsTensor()) {
+      const TensorType& tensor = type.tensor();
+      hasher_.Mix(uint64_t{1});
+      hasher_.Mix(static_cast<int64_t>(tensor.dtype()));
+      hasher_.Mix(static_cast<uint64_t>(tensor.dims().size()));
+      for (int64_t dim : tensor.dims()) hasher_.Mix(dim);
+    } else {
+      hasher_.Mix(uint64_t{2});
+      hasher_.Mix(type.range().size());
+    }
+  }
+
+  void HashAttr(const Attr& attr) {
+    hasher_.Mix(static_cast<uint64_t>(attr.index()));
+    if (const auto* i = std::get_if<int64_t>(&attr)) {
+      hasher_.Mix(*i);
+    } else if (const auto* d = std::get_if<double>(&attr)) {
+      hasher_.Mix(*d);
+    } else if (const auto* s = std::get_if<std::string>(&attr)) {
+      hasher_.Mix(*s);
+    } else if (const auto* ints = std::get_if<std::vector<int64_t>>(&attr)) {
+      hasher_.Mix(static_cast<uint64_t>(ints->size()));
+      for (int64_t v : *ints) hasher_.Mix(v);
+    } else if (const auto* strs =
+                   std::get_if<std::vector<std::string>>(&attr)) {
+      hasher_.Mix(static_cast<uint64_t>(strs->size()));
+      for (const std::string& v : *strs) hasher_.Mix(v);
+    } else if (const auto* axes = std::get_if<AxesPerDim>(&attr)) {
+      hasher_.Mix(static_cast<uint64_t>(axes->size()));
+      for (const auto& list : *axes) {
+        hasher_.Mix(static_cast<uint64_t>(list.size()));
+        for (const std::string& v : list) hasher_.Mix(v);
+      }
+    } else if (const auto* floats = std::get_if<std::vector<float>>(&attr)) {
+      hasher_.Mix(static_cast<uint64_t>(floats->size()));
+      for (float v : *floats) hasher_.Mix(static_cast<double>(v));
+    } else {
+      PARTIR_UNREACHABLE("unhashed attribute variant");
+    }
+  }
+
+  void HashBlock(const Block& block) {
+    hasher_.Mix(static_cast<uint64_t>(block.num_args()));
+    for (const auto& arg : block.args()) {
+      ids_[arg.get()] = next_id_++;
+      // Argument names are schedule keys (and user-facing input names).
+      hasher_.Mix(arg->name());
+      HashType(arg->type());
+    }
+    hasher_.Mix(static_cast<uint64_t>(block.num_ops()));
+    for (const auto& op : block.ops()) {
+      hasher_.Mix(static_cast<int64_t>(op->kind()));
+      hasher_.Mix(static_cast<uint64_t>(op->num_operands()));
+      for (const Value* operand : op->operands()) {
+        auto it = ids_.find(operand);
+        // Operands always dominate their uses in this IR; an unmapped
+        // operand would be a verifier violation, hashed as such.
+        hasher_.Mix(it == ids_.end() ? int64_t{-1} : it->second);
+      }
+      hasher_.Mix(static_cast<uint64_t>(op->attrs().raw().size()));
+      for (const auto& [name, attr] : op->attrs().raw()) {
+        hasher_.Mix(name);
+        HashAttr(attr);
+      }
+      hasher_.Mix(static_cast<uint64_t>(op->num_results()));
+      for (int i = 0; i < op->num_results(); ++i) {
+        ids_[op->result(i)] = next_id_++;
+        HashType(op->result(i)->type());
+      }
+      hasher_.Mix(static_cast<uint64_t>(op->num_regions()));
+      for (int i = 0; i < op->num_regions(); ++i) {
+        HashBlock(op->region(i).block());
+      }
+    }
+  }
+
+  FingerprintHasher hasher_;
+  std::map<const Value*, int64_t> ids_;
+  int64_t next_id_ = 0;
+};
+
+}  // namespace
+
+uint64_t FingerprintFunc(const Func& func) {
+  return FuncFingerprinter().Run(func);
+}
+
+}  // namespace partir

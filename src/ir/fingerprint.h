@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Structural fingerprinting of traced programs. The fingerprint covers
+ * everything partitioning depends on: op kinds, operand wiring, result
+ * types, attributes (including tag names), nested regions, and argument
+ * names (schedule keys match on them). Two traces with equal fingerprints
+ * partition identically under the same (schedule, mesh, options), which is
+ * what keys the Program partition cache.
+ */
+#ifndef PARTIR_IR_FINGERPRINT_H_
+#define PARTIR_IR_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/ir/ir.h"
+
+namespace partir {
+
+/** Streaming FNV-1a 64-bit hasher over structural features. */
+class FingerprintHasher {
+ public:
+  void Mix(uint64_t value);
+  void Mix(int64_t value) { Mix(static_cast<uint64_t>(value)); }
+  void Mix(double value);
+  void Mix(const std::string& value);
+
+  uint64_t digest() const { return state_; }
+
+ private:
+  void MixByte(unsigned char byte) {
+    state_ = (state_ ^ byte) * 0x100000001B3ULL;
+  }
+  uint64_t state_ = 0xCBF29CE484222325ULL;  // FNV offset basis
+};
+
+/** Structural fingerprint of a function (the traced program). */
+uint64_t FingerprintFunc(const Func& func);
+
+}  // namespace partir
+
+#endif  // PARTIR_IR_FINGERPRINT_H_

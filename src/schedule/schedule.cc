@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "src/core/materialize.h"
+#include "src/spmd/collectives.h"
 
 namespace partir {
 namespace {
@@ -189,6 +190,10 @@ StatusOr<PartitionResult> PartirJitOrError(PartitionContext& ctx,
   }
   PARTIR_ASSIGN_OR_RETURN(result.spmd, LowerToSpmdOrError(ctx));
   OptimizeSpmd(result.spmd);
+  // Plan the collectives once (replica groups, parsed attributes) so every
+  // subsequent Run skips the per-device coordinate arithmetic.
+  result.spmd.plan = BuildCollectivePlan(result.spmd.mesh,
+                                         *result.spmd.module);
   result.collectives = CountCollectives(*result.spmd.module,
                                         result.spmd.mesh);
   result.estimate = EstimateSpmd(result.spmd, options.device);

@@ -89,6 +89,10 @@ struct PartitionOptions {
    *  workflow). Each capture clones the module and is retained for the
    *  executable's lifetime, so it is opt-in. */
   bool capture_stages = false;
+  /** Consult (and populate) the Program's partition cache. Turn off to
+   *  force the full pipeline on every call — e.g. when benchmarking it.
+   *  Not part of the cache key (it does not change the result). */
+  bool use_cache = true;
 };
 
 /** Result of running a schedule. */

@@ -26,6 +26,8 @@
 
 namespace partir {
 
+struct CollectivePlan;
+
 /** Sharding of one function input/output: axes per dimension. */
 struct ValueSharding {
   AxesPerDim axes;
@@ -38,6 +40,15 @@ struct SpmdModule {
   Mesh mesh;
   std::vector<ValueSharding> input_shardings;
   std::vector<ValueSharding> output_shardings;
+
+  /**
+   * Precomputed replica groups and attribute parses for every collective op
+   * (collectives.h), built once after collective optimization so RunSpmd
+   * does not re-derive device coordinates per call. Null until planned (or
+   * after the module is handed out mutably); RunSpmd then builds one ad
+   * hoc.
+   */
+  std::shared_ptr<const CollectivePlan> plan;
 
   Func* main() const { return module->main(); }
 };

@@ -2,235 +2,269 @@
 
 #include <algorithm>
 #include <cmath>
+#include <condition_variable>
+#include <deque>
 #include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
 
 #include "src/interp/interpreter.h"
+#include "src/spmd/collectives.h"
 
 namespace partir {
 namespace {
 
-// Linear index of `device`'s coordinates along `axes` (first axis major).
-int64_t GroupPosition(const Mesh& mesh, int64_t device,
-                      const std::vector<std::string>& axes) {
-  std::vector<int64_t> coords = mesh.Coordinates(device);
-  int64_t position = 0;
-  for (const std::string& axis : axes) {
-    int index = mesh.AxisIndex(axis);
-    position = position * mesh.AxisSize(axis) + coords[index];
+/**
+ * Typed validation of a Run request: arity, shardability of every global
+ * input, and agreement of the sharded shape with the device-local argument
+ * type. Runs before any device thread starts, so all user-facing failure
+ * modes surface as Status instead of mid-execution aborts.
+ */
+Status ValidateSpmdInputs(const SpmdModule& spmd,
+                          const std::vector<Tensor>& global_inputs) {
+  const Func& func = *spmd.main();
+  int expected = func.body().num_args();
+  if (static_cast<int>(global_inputs.size()) != expected) {
+    return InvalidArgumentError("SPMD program '", func.name(), "' expects ",
+                                expected, " inputs, got ",
+                                global_inputs.size());
   }
-  return position;
-}
-
-// The peer of `device` whose coordinates along `axes` encode `position`.
-int64_t PeerAt(const Mesh& mesh, int64_t device,
-               const std::vector<std::string>& axes, int64_t position) {
-  std::vector<int64_t> coords = mesh.Coordinates(device);
-  for (int i = static_cast<int>(axes.size()) - 1; i >= 0; --i) {
-    int index = mesh.AxisIndex(axes[i]);
-    coords[index] = position % mesh.AxisSize(axes[i]);
-    position /= mesh.AxisSize(axes[i]);
+  if (static_cast<int>(spmd.input_shardings.size()) != expected) {
+    return InternalError("SPMD module has ", spmd.input_shardings.size(),
+                         " input shardings for ", expected, " arguments");
   }
-  return mesh.DeviceId(coords);
-}
-
-int64_t GroupSize(const Mesh& mesh, const std::vector<std::string>& axes) {
-  int64_t n = 1;
-  for (const std::string& axis : axes) n *= mesh.AxisSize(axis);
-  return n;
-}
-
-class SpmdRunner {
- public:
-  SpmdRunner(const SpmdModule& spmd) : spmd_(spmd) {
-    envs_.resize(spmd_.mesh.NumDevices());
-  }
-
-  std::vector<Tensor> Run(const std::vector<Tensor>& global_inputs) {
-    const Func& func = *spmd_.main();
-    int64_t num_devices = spmd_.mesh.NumDevices();
-    PARTIR_CHECK(static_cast<int>(global_inputs.size()) ==
-                 func.body().num_args())
-        << "spmd input arity mismatch";
-
-    for (int i = 0; i < func.body().num_args(); ++i) {
-      PerDevice shards = ShardTensor(global_inputs[i],
-                                     spmd_.input_shardings[i], spmd_.mesh);
-      for (int64_t d = 0; d < num_devices; ++d) {
-        PARTIR_CHECK(shards[d].dims() ==
-                     func.body().arg(i)->tensor_type().dims())
-            << "sharded input " << i << " does not match local arg type";
-        envs_[d][func.body().arg(i)] = shards[d];
-      }
+  for (int i = 0; i < expected; ++i) {
+    const Value* arg = func.body().arg(i);
+    const ValueSharding& sharding = spmd.input_shardings[i];
+    std::vector<int64_t> local = global_inputs[i].dims();
+    if (local.size() < sharding.axes.size()) {
+      return InvalidArgumentError(
+          "input ", i, " ('", arg->name(), "') has rank ", local.size(),
+          " but its sharding names ", sharding.axes.size(), " dims");
     }
-
-    for (const auto& op : func.body().ops()) {
-      if (op->kind() == OpKind::kReturn) {
-        std::vector<Tensor> outputs;
-        for (size_t i = 0; i < op->operands().size(); ++i) {
-          PerDevice shards(num_devices);
-          for (int64_t d = 0; d < num_devices; ++d) {
-            shards[d] = envs_[d].at(op->operand(i));
-          }
-          outputs.push_back(UnshardTensor(
-              shards, spmd_.output_shardings[i], spmd_.mesh));
+    for (size_t dim = 0; dim < sharding.axes.size(); ++dim) {
+      for (const std::string& axis : sharding.axes[dim]) {
+        int64_t size = spmd.mesh.AxisSize(axis);
+        if (local[dim] % size != 0) {
+          return InvalidArgumentError(
+              "input ", i, " ('", arg->name(), "') dim ", dim, " of size ",
+              local[dim], " is not divisible by mesh axis '", axis,
+              "' of size ", size);
         }
-        return outputs;
+        local[dim] /= size;
       }
-      Execute(*op);
     }
-    PARTIR_UNREACHABLE("spmd function has no return");
+    if (local != arg->tensor_type().dims()) {
+      return InvalidArgumentError(
+          "input ", i, " ('", arg->name(), "') shards to shape [",
+          StrJoin(local, ","), "], but the device-local program expects [",
+          StrJoin(arg->tensor_type().dims(), ","), "]; global shape was [",
+          StrJoin(global_inputs[i].dims(), ","), "]");
+    }
+  }
+  return Status::Ok();
+}
+
+/** Evaluates a device-local (non-collective) op into `env`. */
+void EvalLocalOp(const Operation& op, Env& env) {
+  std::vector<Tensor> operands;
+  operands.reserve(op.operands().size());
+  for (const Value* operand : op.operands()) {
+    operands.push_back(env.at(operand));
+  }
+  std::vector<Tensor> results = EvalOp(op, operands);
+  for (int i = 0; i < op.num_results(); ++i) {
+    env[op.result(i)] = std::move(results[i]);
+  }
+}
+
+/**
+ * The sequential reference walker: one loop over ops, each evaluated on
+ * every device (collectives one replica group at a time, in group-position
+ * order — the same order the async runtime uses).
+ */
+void RunSequential(const SpmdModule& spmd, const CollectivePlan& plan,
+                   std::vector<Env>& envs) {
+  const Func& func = *spmd.main();
+  int64_t num_devices = spmd.mesh.NumDevices();
+  for (const auto& op : func.body().ops()) {
+    if (op->kind() == OpKind::kReturn) return;
+    auto it = plan.ops.find(op.get());
+    if (it == plan.ops.end()) {
+      for (int64_t d = 0; d < num_devices; ++d) EvalLocalOp(*op, envs[d]);
+      continue;
+    }
+    const CollectiveOp& col = it->second;
+    if (col.kind == OpKind::kAllSlice) {
+      for (int64_t d = 0; d < num_devices; ++d) {
+        envs[d][op->result()] = ApplySliceSteps(
+            envs[d].at(op->operand(0)), col.slice_steps_per_device[d]);
+      }
+      continue;
+    }
+    for (const std::vector<int64_t>& group : col.groups->groups) {
+      std::vector<Tensor> inputs;
+      inputs.reserve(group.size());
+      for (int64_t d : group) inputs.push_back(envs[d].at(op->operand(0)));
+      std::vector<Tensor> outputs = EvalGroupCollective(col, inputs);
+      for (size_t p = 0; p < group.size(); ++p) {
+        envs[group[p]][op->result()] = std::move(outputs[p]);
+      }
+    }
+  }
+  PARTIR_UNREACHABLE("spmd function has no return");
+}
+
+/** Counting semaphore bounding how many device threads run concurrently. */
+class Semaphore {
+ public:
+  explicit Semaphore(int permits) : permits_(permits) {}
+
+  void Acquire() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return permits_ > 0; });
+    --permits_;
+  }
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++permits_;
+    }
+    cv_.notify_one();
   }
 
  private:
-  PerDevice OperandOnAll(const Operation& op, int index) {
-    PerDevice values(envs_.size());
-    for (size_t d = 0; d < envs_.size(); ++d) {
-      values[d] = envs_[d].at(op.operand(index));
-    }
-    return values;
-  }
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int permits_;
+};
 
-  void BindAll(const Operation& op, PerDevice values) {
-    for (size_t d = 0; d < envs_.size(); ++d) {
-      envs_[d][op.result()] = std::move(values[d]);
-    }
-  }
+/**
+ * Rendezvous state of one replica group of one collective op execution.
+ * Every member deposits its contribution; the last arrival evaluates the
+ * group (position-ordered, unless arrival-order folding was requested) and
+ * wakes the others.
+ */
+struct GroupSite {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<Tensor> inputs;   // by group position (deterministic path)
+  std::vector<Tensor> outputs;  // by group position, valid once done
+  Tensor accumulator;           // arrival-order reduction (non-deterministic)
+  int arrived = 0;
+  bool done = false;
+};
 
-  void Execute(const Operation& op) {
-    switch (op.kind()) {
-      case OpKind::kAllSlice: {
-        PerDevice in = OperandOnAll(op, 0);
-        const auto& axes = op.attrs().Get<AxesPerDim>("axes_per_dim");
-        PerDevice out(in.size());
-        for (size_t d = 0; d < in.size(); ++d) {
-          out[d] = LocalSlice(in[d], axes, static_cast<int64_t>(d));
-        }
-        BindAll(op, std::move(out));
-        return;
-      }
-      case OpKind::kAllGather: {
-        PerDevice in = OperandOnAll(op, 0);
-        const auto& axes = op.attrs().Get<AxesPerDim>("axes_per_dim");
-        BindAll(op, Gather(in, axes));
-        return;
-      }
-      case OpKind::kAllReduce: {
-        PerDevice in = OperandOnAll(op, 0);
-        const auto& axes = op.attrs().Get<std::vector<std::string>>("axes");
-        bool is_max = op.attrs().Get<std::string>("reduction") == "max";
-        BindAll(op, Reduce(in, axes, is_max));
-        return;
-      }
-      case OpKind::kReduceScatter: {
-        PerDevice in = OperandOnAll(op, 0);
-        const auto& axes = op.attrs().Get<AxesPerDim>("axes_per_dim");
-        bool is_max = op.attrs().Get<std::string>("reduction") == "max";
-        std::vector<std::string> flat;
-        for (const auto& list : axes) {
-          flat.insert(flat.end(), list.begin(), list.end());
-        }
-        PerDevice reduced = Reduce(in, flat, is_max);
-        PerDevice out(in.size());
-        for (size_t d = 0; d < in.size(); ++d) {
-          out[d] = LocalSlice(reduced[d], axes, static_cast<int64_t>(d));
-        }
-        BindAll(op, std::move(out));
-        return;
-      }
-      case OpKind::kAllToAll: {
-        PerDevice in = OperandOnAll(op, 0);
-        int64_t slice_dim = op.attrs().Get<int64_t>("slice_dim");
-        int64_t concat_dim = op.attrs().Get<int64_t>("concat_dim");
-        const auto& axes = op.attrs().Get<std::vector<std::string>>("axes");
-        int64_t n = GroupSize(spmd_.mesh, axes);
-        PerDevice out(in.size());
-        for (size_t d = 0; d < in.size(); ++d) {
-          int64_t me = GroupPosition(spmd_.mesh, d, axes);
-          std::vector<Tensor> chunks;
-          for (int64_t j = 0; j < n; ++j) {
-            int64_t peer = PeerAt(spmd_.mesh, d, axes, j);
-            chunks.push_back(in[peer].SliceChunk(slice_dim, me, n));
-          }
-          out[d] = Tensor::Concat(chunks, concat_dim);
-        }
-        BindAll(op, std::move(out));
-        return;
-      }
-      default: {
-        // Device-local computation: run the reference evaluator per device.
-        for (size_t d = 0; d < envs_.size(); ++d) {
-          std::vector<Tensor> operands;
-          for (const Value* operand : op.operands()) {
-            operands.push_back(envs_[d].at(operand));
-          }
-          std::vector<Tensor> results = EvalOp(op, operands);
-          for (int i = 0; i < op.num_results(); ++i) {
-            envs_[d][op.result(i)] = std::move(results[i]);
-          }
-        }
-        return;
+/** The async per-device runtime: one thread per device, rendezvous
+ *  collectives, and a semaphore throttling concurrency. */
+class ThreadedRunner {
+ public:
+  ThreadedRunner(const SpmdModule& spmd, const CollectivePlan& plan,
+                 const RunOptions& options, std::vector<Env>& envs,
+                 int max_concurrency)
+      : spmd_(spmd), plan_(plan), options_(options), envs_(envs),
+        throttle_(max_concurrency) {
+    for (const auto& op : spmd_.main()->body().ops()) {
+      auto it = plan_.ops.find(op.get());
+      if (it == plan_.ops.end()) continue;
+      const CollectiveOp& col = it->second;
+      if (col.kind == OpKind::kAllSlice) continue;
+      auto& sites = sites_[op.get()];
+      for (int64_t g = 0; g < static_cast<int64_t>(col.groups->groups.size());
+           ++g) {
+        sites.emplace_back();
       }
     }
   }
 
-  // Device-local slice: successively take this device's chunk of each dim.
-  Tensor LocalSlice(const Tensor& value, const AxesPerDim& axes,
-                    int64_t device) {
-    Tensor out = value;
-    std::vector<int64_t> coords = spmd_.mesh.Coordinates(device);
-    for (size_t dim = 0; dim < axes.size(); ++dim) {
-      for (const std::string& axis : axes[dim]) {
-        int64_t size = spmd_.mesh.AxisSize(axis);
-        int64_t chunk = coords[spmd_.mesh.AxisIndex(axis)];
-        out = out.SliceChunk(static_cast<int64_t>(dim), chunk, size);
-      }
+  void Run() {
+    int64_t num_devices = spmd_.mesh.NumDevices();
+    std::vector<std::thread> threads;
+    threads.reserve(num_devices);
+    for (int64_t d = 0; d < num_devices; ++d) {
+      threads.emplace_back([this, d] { RunDevice(d); });
     }
-    return out;
+    for (std::thread& thread : threads) thread.join();
   }
 
-  // All-gather: for each dim (outer axis first), concatenate peers' chunks.
-  PerDevice Gather(const PerDevice& in, const AxesPerDim& axes) {
-    PerDevice current = in;
-    for (size_t dim = 0; dim < axes.size(); ++dim) {
-      // Gather the innermost axis of the dim first so that the result ends
-      // up ordered with the first-listed axis outermost.
-      for (auto it = axes[dim].rbegin(); it != axes[dim].rend(); ++it) {
-        const std::string& axis = *it;
-        int64_t n = spmd_.mesh.AxisSize(axis);
-        PerDevice next(current.size());
-        for (size_t d = 0; d < current.size(); ++d) {
-          std::vector<Tensor> chunks;
-          for (int64_t j = 0; j < n; ++j) {
-            int64_t peer = PeerAt(spmd_.mesh, d, {axis}, j);
-            chunks.push_back(current[peer]);
-          }
-          next[d] = Tensor::Concat(chunks, static_cast<int64_t>(dim));
-        }
-        current = std::move(next);
+ private:
+  void RunDevice(int64_t device) {
+    throttle_.Acquire();
+    Env& env = envs_[device];
+    for (const auto& op : spmd_.main()->body().ops()) {
+      if (op->kind() == OpKind::kReturn) break;
+      auto it = plan_.ops.find(op.get());
+      if (it == plan_.ops.end()) {
+        EvalLocalOp(*op, env);
+        continue;
       }
+      const CollectiveOp& col = it->second;
+      if (col.kind == OpKind::kAllSlice) {
+        env[op->result()] = ApplySliceSteps(
+            env.at(op->operand(0)), col.slice_steps_per_device[device]);
+        continue;
+      }
+      GroupSite& site =
+          sites_.at(op.get())[col.groups->group_of[device]];
+      env[op->result()] = Rendezvous(
+          col, site, col.groups->position_of[device],
+          env.at(op->operand(0)));
     }
-    return current;
+    throttle_.Release();
   }
 
-  PerDevice Reduce(const PerDevice& in, const std::vector<std::string>& axes,
-                   bool is_max) {
-    int64_t n = GroupSize(spmd_.mesh, axes);
-    PerDevice out(in.size());
-    for (size_t d = 0; d < in.size(); ++d) {
-      Tensor acc = in[PeerAt(spmd_.mesh, d, axes, 0)];
-      for (int64_t j = 1; j < n; ++j) {
-        int64_t peer = PeerAt(spmd_.mesh, d, axes, j);
-        acc = Tensor::Combine(acc, in[peer], [is_max](float a, float b) {
-          return is_max ? std::max(a, b) : a + b;
-        });
-      }
-      out[d] = std::move(acc);
+  Tensor Rendezvous(const CollectiveOp& col, GroupSite& site, int64_t position,
+                    Tensor input) {
+    const int64_t n = col.groups->group_size;
+    const bool arrival_fold =
+        !options_.deterministic && (col.kind == OpKind::kAllReduce ||
+                                    col.kind == OpKind::kReduceScatter);
+    std::unique_lock<std::mutex> lock(site.mu);
+    if (arrival_fold) {
+      site.accumulator = site.arrived == 0
+                             ? std::move(input)
+                             : CombineReduce(col.is_max, site.accumulator,
+                                             input);
+    } else {
+      if (site.inputs.empty()) site.inputs.resize(n);
+      site.inputs[position] = std::move(input);
     }
-    return out;
+    if (++site.arrived == n) {
+      // Last arrival: evaluate the whole group and wake the waiters. The
+      // result is position-ordered, so *which* thread computes it does not
+      // affect the outputs.
+      if (arrival_fold) {
+        site.outputs = col.kind == OpKind::kAllReduce
+                           ? std::vector<Tensor>(n, site.accumulator)
+                           : ScatterReduced(col, site.accumulator);
+      } else {
+        site.outputs = EvalGroupCollective(col, site.inputs);
+        site.inputs.clear();
+      }
+      site.done = true;
+      site.cv.notify_all();
+      return std::move(site.outputs[position]);
+    }
+    // Waiting at a barrier: hand the execution slot to a runnable device so
+    // any positive thread cap stays deadlock-free.
+    throttle_.Release();
+    site.cv.wait(lock, [&] { return site.done; });
+    Tensor output = std::move(site.outputs[position]);
+    lock.unlock();
+    throttle_.Acquire();
+    return output;
   }
 
   const SpmdModule& spmd_;
-  std::vector<Env> envs_;
+  const CollectivePlan& plan_;
+  const RunOptions& options_;
+  std::vector<Env>& envs_;
+  Semaphore throttle_;
+  // One rendezvous per replica group per collective op, indexed by the
+  // group index of CollectiveOp::groups.
+  std::map<const Operation*, std::deque<GroupSite>> sites_;
 };
 
 }  // namespace
@@ -300,9 +334,55 @@ Tensor UnshardTensor(const PerDevice& shards, const ValueSharding& sharding,
   return global;
 }
 
-std::vector<Tensor> RunSpmd(const SpmdModule& spmd,
-                            const std::vector<Tensor>& global_inputs) {
-  return SpmdRunner(spmd).Run(global_inputs);
+StatusOr<std::vector<Tensor>> RunSpmd(const SpmdModule& spmd,
+                                      const std::vector<Tensor>& global_inputs,
+                                      const RunOptions& options) {
+  PARTIR_RETURN_IF_ERROR(ValidateSpmdInputs(spmd, global_inputs));
+  // Normally precomputed right after collective optimization; modules built
+  // by hand (or mutated through mutable_spmd) are planned here.
+  std::shared_ptr<const CollectivePlan> local_plan = spmd.plan;
+  if (local_plan == nullptr) {
+    local_plan = BuildCollectivePlan(spmd.mesh, *spmd.module);
+  }
+
+  const Func& func = *spmd.main();
+  if (func.body().num_ops() == 0 ||
+      func.body().terminator()->kind() != OpKind::kReturn) {
+    return InternalError("SPMD function '", func.name(),
+                         "' has no return terminator");
+  }
+  int64_t num_devices = spmd.mesh.NumDevices();
+  std::vector<Env> envs(num_devices);
+  for (int i = 0; i < func.body().num_args(); ++i) {
+    PerDevice shards =
+        ShardTensor(global_inputs[i], spmd.input_shardings[i], spmd.mesh);
+    for (int64_t d = 0; d < num_devices; ++d) {
+      envs[d][func.body().arg(i)] = std::move(shards[d]);
+    }
+  }
+
+  int concurrency = options.num_threads == 0
+                        ? static_cast<int>(num_devices)
+                        : std::max(1, std::min(options.num_threads,
+                                               static_cast<int>(num_devices)));
+  if (concurrency == 1 || num_devices == 1) {
+    RunSequential(spmd, *local_plan, envs);
+  } else {
+    ThreadedRunner(spmd, *local_plan, options, envs, concurrency).Run();
+  }
+
+  const Operation* ret = func.body().terminator();
+  std::vector<Tensor> outputs;
+  outputs.reserve(ret->operands().size());
+  for (size_t i = 0; i < ret->operands().size(); ++i) {
+    PerDevice shards(num_devices);
+    for (int64_t d = 0; d < num_devices; ++d) {
+      shards[d] = envs[d].at(ret->operand(i));
+    }
+    outputs.push_back(
+        UnshardTensor(shards, spmd.output_shardings[i], spmd.mesh));
+  }
+  return outputs;
 }
 
 }  // namespace partir

@@ -1,11 +1,26 @@
 /**
  * @file
- * Multi-device SPMD interpreter: executes the device-local program on every
+ * Multi-device SPMD runtime: executes the device-local program on every
  * device of the mesh with real collective semantics (slice / gather /
- * reduce / reduce-scatter / all-to-all across mesh-axis groups). Together
- * with the sharding/unsharding helpers this provides the executable
- * counterpart of the paper's Appendix C correctness theorem: partitioned
- * program + collectives == unpartitioned program.
+ * reduce / reduce-scatter / all-to-all across mesh-axis replica groups).
+ *
+ * Two runtimes share one collective implementation (collectives.h):
+ *
+ *  - the *sequential reference walker* (RunOptions::num_threads == 1): one
+ *    global op-walker evaluates each op on every device in turn — the
+ *    executable specification of the paper's Appendix C correctness
+ *    theorem (partitioned program + collectives == unpartitioned program);
+ *
+ *  - the *async runtime* (the default): one thread per simulated device
+ *    executes its device-local program independently; collectives are
+ *    rendezvous objects with barrier semantics — each device deposits its
+ *    contribution and blocks until the whole replica group has arrived,
+ *    the last arrival evaluates the group in deterministic position order,
+ *    and all members pick up their outputs.
+ *
+ * Because both runtimes evaluate collectives through the same group-ordered
+ * functions, their outputs are bit-identical; the async runtime surfaces
+ * real overlap and ordering bugs that lock-step emulation cannot.
  */
 #ifndef PARTIR_SPMD_SPMD_INTERPRETER_H_
 #define PARTIR_SPMD_SPMD_INTERPRETER_H_
@@ -14,11 +29,31 @@
 
 #include "src/interp/tensor.h"
 #include "src/spmd/lowering.h"
+#include "src/support/status.h"
 
 namespace partir {
 
 /** Per-device tensors, indexed by linear device id. */
 using PerDevice = std::vector<Tensor>;
+
+/** Options controlling multi-device execution. */
+struct RunOptions {
+  /**
+   * Worker threads executing device programs. 0 (default) runs one thread
+   * per simulated device; 1 selects the sequential reference walker; any
+   * other value caps how many device threads run concurrently (a thread
+   * waiting at a collective rendezvous releases its slot, so any positive
+   * cap is deadlock-free). Values above the device count are clamped.
+   */
+  int num_threads = 0;
+  /**
+   * When true (default), collective reductions fold in group-position
+   * order: outputs are bit-identical to the sequential walker and across
+   * repeated runs. When false, all_reduce / reduce_scatter fold in thread
+   * arrival order — correct within float tolerance, not bit-stable.
+   */
+  bool deterministic = true;
+};
 
 /** Slices a global tensor into per-device shards per the sharding. */
 PerDevice ShardTensor(const Tensor& global, const ValueSharding& sharding,
@@ -34,10 +69,13 @@ Tensor UnshardTensor(const PerDevice& shards, const ValueSharding& sharding,
 /**
  * Runs the SPMD program on all devices. `inputs[i]` are the *global* input
  * tensors; they are sharded per the module's input shardings. Returns the
- * *global* outputs, reassembled per the output shardings.
+ * *global* outputs, reassembled per the output shardings. Input arity and
+ * shape mismatches (including unshardable global dims) are typed errors,
+ * reported before any device thread starts.
  */
-std::vector<Tensor> RunSpmd(const SpmdModule& spmd,
-                            const std::vector<Tensor>& global_inputs);
+StatusOr<std::vector<Tensor>> RunSpmd(const SpmdModule& spmd,
+                                      const std::vector<Tensor>& global_inputs,
+                                      const RunOptions& options = {});
 
 }  // namespace partir
 

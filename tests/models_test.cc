@@ -138,7 +138,7 @@ TEST(TransformerModelTest, BpTrainingStepSpmdMatchesReference) {
   auto inputs = MakeRandomInputs(*step, 21, /*index_modulus=*/
                                  static_cast<float>(config.vocab));
   auto want = Evaluate(*step, inputs);
-  auto got = RunSpmd(result.spmd, inputs);
+  auto got = RunSpmd(result.spmd, inputs).value();
   ASSERT_EQ(want.size(), got.size());
   for (size_t i = 0; i < want.size(); ++i) {
     EXPECT_LT(Tensor::MaxAbsDiff(want[i], got[i]), 5e-3f) << "output " << i;
@@ -158,7 +158,7 @@ TEST(TransformerModelTest, FsdpTrainingStepSpmdMatchesReference) {
   auto inputs = MakeRandomInputs(*step, 22, /*index_modulus=*/
                                  static_cast<float>(config.vocab));
   auto want = Evaluate(*step, inputs);
-  auto got = RunSpmd(result.spmd, inputs);
+  auto got = RunSpmd(result.spmd, inputs).value();
   for (size_t i = 0; i < want.size(); ++i) {
     EXPECT_LT(Tensor::MaxAbsDiff(want[i], got[i]), 5e-3f) << "output " << i;
   }
@@ -275,7 +275,7 @@ TEST(UNetModelTest, BpSpmdMatchesReference) {
       PartirJit(ctx, {schedules::UNetBP(), schedules::UNetMP()}, options);
   auto inputs = MakeRandomInputs(*loss, 31);
   auto want = Evaluate(*loss, inputs);
-  auto got = RunSpmd(result.spmd, inputs);
+  auto got = RunSpmd(result.spmd, inputs).value();
   EXPECT_LT(Tensor::MaxAbsDiff(want[0], got[0]), 5e-3f);
 }
 
@@ -311,7 +311,7 @@ TEST(GnsModelTest, EsSpmdMatchesReference) {
   auto inputs = MakeRandomInputs(
       *loss, 41, /*index_modulus=*/static_cast<float>(config.num_nodes));
   auto want = Evaluate(*loss, inputs);
-  auto got = RunSpmd(result.spmd, inputs);
+  auto got = RunSpmd(result.spmd, inputs).value();
   EXPECT_LT(Tensor::MaxAbsDiff(want[0], got[0]), 5e-3f);
 }
 

@@ -25,7 +25,7 @@ void ExpectSpmdEquivalent(PartitionContext& ctx, uint64_t seed,
   std::vector<Tensor> inputs =
       MakeRandomInputs(*ctx.func(), seed, index_modulus);
   std::vector<Tensor> want = Evaluate(*ctx.func(), inputs);
-  std::vector<Tensor> got = RunSpmd(spmd, inputs);
+  std::vector<Tensor> got = RunSpmd(spmd, inputs).value();
   ASSERT_EQ(want.size(), got.size());
   for (size_t i = 0; i < want.size(); ++i) {
     ASSERT_EQ(want[i].dims(), got[i].dims());
