@@ -1,12 +1,16 @@
 // Micro-benchmarks (google-benchmark) for the compiler passes themselves:
-// propagation, SPMD lowering and collective optimization throughput on
-// generated matmul chains of increasing length, plus the end-to-end
-// Program::Partition facade pipeline those passes compose into.
+// propagation, SPMD lowering and the collective-optimization pass families
+// on generated matmul chains of increasing length, plus the end-to-end
+// Program::Partition facade pipeline those passes compose into. After the
+// benchmarks, one pipeline run's per-pass timings are emitted as JSON from
+// Executable::pipeline_stats() (bench_util.h's JsonWriter).
 #include <benchmark/benchmark.h>
 
-#include "src/api/partir.h"
+#include "bench/bench_util.h"
+
 #include "src/core/context.h"
 #include "src/ir/builder.h"
+#include "src/ir/passes.h"
 #include "src/spmd/lowering.h"
 #include "src/spmd/optimize.h"
 
@@ -85,6 +89,40 @@ void BM_OptimizeSpmd(benchmark::State& state) {
 }
 BENCHMARK(BM_OptimizeSpmd)->Arg(16)->Arg(64)->Arg(256);
 
+// One sweep of each collective-optimization pass family in isolation (the
+// fuse-gather-slice / form-reduce-scatter / dce registered passes). The
+// per-iteration lowering that produces each fresh input module is excluded
+// from the measurement.
+void BM_PassSweep(benchmark::State& state, unsigned mask, bool dce) {
+  int64_t layers = state.range(0);
+  Func* func;
+  Value* x;
+  auto module = BuildChain(layers, &func, &x);
+  PartitionContext ctx(func, Mesh({{"B", 4}}));
+  ctx.TileValue(x, 0, "B");
+  ctx.Propagate();
+  for (auto _ : state) {
+    state.PauseTiming();
+    SpmdModule spmd = LowerToSpmd(ctx);
+    state.ResumeTiming();
+    if (mask != 0) RunSpmdPeephole(spmd, mask);
+    if (dce) EliminateDeadCode(*spmd.mutable_main());
+    benchmark::DoNotOptimize(spmd.main()->body().num_ops());
+  }
+  state.SetItemsProcessed(state.iterations() * layers * 2);
+}
+void BM_FuseGatherSlicePass(benchmark::State& state) {
+  BM_PassSweep(state, kRewriteGatherSlice, false);
+}
+void BM_FormReduceScatterPass(benchmark::State& state) {
+  BM_PassSweep(state, kRewriteReduceScatter | kRewriteReduceScatterPartial,
+               false);
+}
+void BM_DcePass(benchmark::State& state) { BM_PassSweep(state, 0, true); }
+BENCHMARK(BM_FuseGatherSlicePass)->Arg(64)->Arg(256);
+BENCHMARK(BM_FormReduceScatterPass)->Arg(64)->Arg(256);
+BENCHMARK(BM_DcePass)->Arg(64)->Arg(256);
+
 // The whole facade pipeline (actions -> propagation -> lowering ->
 // collective optimization) through one Program::Partition call. The
 // partition cache is disabled so every iteration measures the pipeline
@@ -117,7 +155,40 @@ void BM_FacadePartition(benchmark::State& state) {
 }
 BENCHMARK(BM_FacadePartition)->Arg(16)->Arg(64)->Arg(256);
 
+// One facade pipeline run on the 64-layer chain, per-pass timings emitted
+// as JSON from pipeline_stats() — the machine-readable per-pass breakdown
+// the whole-pipeline timers above cannot provide.
+void EmitPerPassJson() {
+  Program program("main");
+  Value* x = program.AddInput(TensorType({64, 64}), "x");
+  std::vector<Value*> weights;
+  for (int64_t i = 0; i < 64; ++i) {
+    weights.push_back(program.AddInput(TensorType({64, 64}), StrCat("w", i)));
+  }
+  Value* h = x;
+  for (Value* w : weights) {
+    h = program.builder().Tanh(program.builder().MatMul(h, w));
+  }
+  program.Return({h});
+  PartitionOptions options;
+  options.per_tactic_reports = false;
+  options.use_cache = false;
+  StatusOr<Executable> exe = program.Partition(
+      {Tactic(ManualPartition{"BP", {{"x", 0}}, "B"})}, Mesh({{"B", 4}}),
+      options);
+  if (!exe.ok()) PARTIR_FATAL() << exe.status().ToString();
+  bench::PrintPipelineStatsJson("passes_micro_per_pass", "chain64",
+                                exe->pipeline_stats());
+}
+
 }  // namespace
 }  // namespace partir
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  partir::EmitPerPassJson();
+  return 0;
+}

@@ -9,6 +9,8 @@
 // are what reproduces.
 #include "bench/bench_util.h"
 
+#include "src/pass/pipeline.h"
+
 namespace partir {
 namespace {
 
@@ -16,6 +18,25 @@ using bench::Fmt;
 using bench::PrintHeader;
 using bench::PrintRow;
 using bench::Run;
+
+/**
+ * Counts the collectives a schedule yields when the real pipeline runs
+ * WITHOUT the form-reduce-scatter pass (PipelineVariant ablation): the
+ * "before" half of the before/after reduce-scatter-formation report for
+ * the T32 EMB rows (the ROADMAP fidelity item this pass debugs).
+ */
+CollectiveStats WithoutReduceScatterFormation(
+    Program& step, const Mesh& mesh, const std::vector<Tactic>& schedule) {
+  PartitionContext ctx(step.func(), mesh);
+  PartitionOptions options;
+  options.per_tactic_reports = false;
+  PipelineVariant variant;
+  variant.form_reduce_scatter = false;
+  StatusOr<PartitionResult> result =
+      RunPartitionPipeline(ctx, schedule, options, variant);
+  if (!result.ok()) PARTIR_FATAL() << result.status().ToString();
+  return result->collectives;
+}
 
 void Report(const std::string& model, const std::string& schedule,
             const CollectiveStats& stats, const std::string& note = "") {
@@ -56,6 +77,19 @@ void TransformerRows() {
     Executable result = Run(step, mesh, row.schedule);
     Report("T32", row.name, result.Collectives(), row.paper);
   }
+
+  // Before/after reduce-scatter formation on the EMB rows (the ROADMAP
+  // T32 EMB fidelity item): "before" disables the form-reduce-scatter
+  // pass, "after" is the full pipeline row above.
+  Report("T32", "EMB -rs-form",
+         WithoutReduceScatterFormation(step, mesh, {TransformerEMB()}),
+         "before reduce-scatter formation");
+  Report("T32", "Z3+EMB -rs-form",
+         WithoutReduceScatterFormation(
+             step, mesh,
+             {TransformerBP(), TransformerMP(), TransformerZ3(),
+              TransformerEMB()}),
+         "before rs-formation (after: row above)");
 }
 
 void InferenceRows() {

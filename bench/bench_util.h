@@ -138,6 +138,42 @@ class JsonWriter {
   bool pending_value_ = false;
 };
 
+/**
+ * Emits one machine-readable line of per-pass pipeline timings (from
+ * Executable::pipeline_stats()): per-pass ms, runs, rewrite counts, op
+ * counts, and — for lowered stages — the per-stage collective breakdown.
+ * The per-pass replacement for whole-pipeline timers in the benches.
+ */
+inline void PrintPipelineStatsJson(const std::string& bench,
+                                   const std::string& label,
+                                   const PipelineStats& stats) {
+  JsonWriter json;
+  json.BeginObject()
+      .Key("bench").Value(bench)
+      .Key("model").Value(label)
+      .Key("total_ms").Value(stats.total_seconds * 1e3)
+      .Key("verify_runs").Value(stats.verify_runs)
+      .Key("verify_ms").Value(stats.verify_seconds * 1e3)
+      .Key("passes").BeginArray();
+  for (const PassStats& pass : stats.passes) {
+    json.BeginObject()
+        .Key("name").Value(pass.name)
+        .Key("ms").Value(pass.seconds * 1e3)
+        .Key("runs").Value(pass.runs)
+        .Key("changes").Value(pass.changes)
+        .Key("ops_after").Value(pass.ops_after);
+    if (pass.lowered) {
+      json.Key("ag").Value(pass.collectives.all_gather)
+          .Key("ar").Value(pass.collectives.all_reduce)
+          .Key("rs").Value(pass.collectives.reduce_scatter)
+          .Key("a2a").Value(pass.collectives.all_to_all);
+    }
+    json.EndObject();
+  }
+  json.EndArray().EndObject();
+  std::printf("%s\n", json.str().c_str());
+}
+
 }  // namespace bench
 }  // namespace partir
 

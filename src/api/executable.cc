@@ -40,6 +40,9 @@ SimEstimate Executable::Estimate(const DeviceSpec& device) const {
 }
 
 StatusOr<std::string> Executable::Print(Stage stage) const {
+  // Every intermediate form is served from the pass manager's stage
+  // snapshots; only the endpoints (the traced source, the live device-local
+  // module) are always present without capture.
   switch (stage.kind_) {
     case Stage::Kind::kSource:
       return partir::Print(*traced_);
@@ -50,22 +53,24 @@ StatusOr<std::string> Executable::Print(Stage stage) const {
                                     "; the schedule has ",
                                     result_.tactics.size(), " tactics");
       }
-      const TacticReport& report = result_.tactics[stage.index_];
-      if (report.loop_module == nullptr) {
-        return FailedPreconditionError(
-            "loop form after tactic '", report.name,
-            "' was not captured; partition with "
-            "PartitionOptions::capture_stages=true");
+      for (const StageSnapshot& snapshot : result_.snapshots) {
+        if (snapshot.tactic_index == stage.index_ &&
+            snapshot.form == StageSnapshot::Form::kLoops) {
+          return partir::Print(*snapshot.module);
+        }
       }
-      return partir::Print(*report.loop_module);
+      return FailedPreconditionError(
+          "loop form after tactic '", result_.tactics[stage.index_].name,
+          "' was not captured; partition with "
+          "PartitionOptions::capture_stages=true");
     }
     case Stage::Kind::kLoops:
-      if (result_.loop_module == nullptr) {
-        return FailedPreconditionError(
-            "final loop form was not captured; partition with "
-            "PartitionOptions::capture_stages=true");
+      for (const StageSnapshot& snapshot : result_.snapshots) {
+        if (snapshot.final_loops) return partir::Print(*snapshot.module);
       }
-      return partir::Print(*result_.loop_module);
+      return FailedPreconditionError(
+          "final loop form was not captured; partition with "
+          "PartitionOptions::capture_stages=true");
     case Stage::Kind::kSpmd:
       return partir::Print(*result_.spmd.module);
   }

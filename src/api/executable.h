@@ -98,6 +98,19 @@ class Executable {
   const CollectiveStats& Collectives() const { return result_.collectives; }
   double partition_seconds() const { return result_.partition_seconds; }
 
+  /**
+   * Per-pass statistics of the pipeline run that compiled this executable:
+   * wall-clock, op deltas, rewrite counts, and — once lowered — the
+   * collective counts after each pass first ran on the lowered module (the
+   * per-stage Table 3 breakdown attributing which pass formed what).
+   * A cache hit carries the stats of the original miss run verbatim.
+   */
+  const PipelineStats& pipeline_stats() const { return result_.pipeline; }
+  /** Stage snapshots Print(Stage) renders (capture_stages). */
+  const std::vector<StageSnapshot>& snapshots() const {
+    return result_.snapshots;
+  }
+
   const Mesh& mesh() const { return result_.spmd.mesh; }
   int num_inputs() const {
     return static_cast<int>(result_.spmd.input_shardings.size());
@@ -115,7 +128,7 @@ class Executable {
    *  re-plans against whatever the backend left behind. */
   const SpmdModule& spmd() const { return result_.spmd; }
   SpmdModule& mutable_spmd() {
-    result_.spmd.plan.reset();
+    result_.spmd.InvalidatePlan();
     return result_.spmd;
   }
 

@@ -119,10 +119,11 @@ PartitionResult ClonePartitionResult(const PartitionResult& result) {
   out.spmd.plan = BuildCollectivePlan(out.spmd.mesh, *out.spmd.module);
   out.collectives = result.collectives;
   out.estimate = result.estimate;
-  out.tactics = result.tactics;  // loop-form captures are immutable, shared
+  out.tactics = result.tactics;
   out.partition_seconds = result.partition_seconds;
   out.conflicts = result.conflicts;
-  out.loop_module = result.loop_module;
+  out.pipeline = result.pipeline;
+  out.snapshots = result.snapshots;  // snapshot modules immutable, shared
   return out;
 }
 

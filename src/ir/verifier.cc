@@ -166,18 +166,31 @@ class VerifierState {
 
 }  // namespace
 
+namespace {
+
+void VerifyFuncInto(const Func& func, std::vector<std::string>& diags) {
+  VerifierState state(&diags);
+  if (func.body().num_ops() == 0 ||
+      func.body().terminator()->kind() != OpKind::kReturn) {
+    diags.push_back(StrCat("func @", func.name(), " must end in return"));
+    return;
+  }
+  state.VerifyBlock(func.body(), {});
+}
+
+}  // namespace
+
 std::vector<std::string> Verify(const Module& module) {
   std::vector<std::string> diags;
-  VerifierState state(&diags);
   for (const auto& func : module.funcs()) {
-    if (func->body().num_ops() == 0 ||
-        func->body().terminator()->kind() != OpKind::kReturn) {
-      diags.push_back(StrCat("func @", func->name(),
-                             " must end in return"));
-      continue;
-    }
-    state.VerifyBlock(func->body(), {});
+    VerifyFuncInto(*func, diags);
   }
+  return diags;
+}
+
+std::vector<std::string> Verify(const Func& func) {
+  std::vector<std::string> diags;
+  VerifyFuncInto(func, diags);
   return diags;
 }
 

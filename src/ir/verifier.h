@@ -17,6 +17,11 @@ namespace partir {
 /** Verifies a module; returns a list of diagnostics (empty when valid). */
 std::vector<std::string> Verify(const Module& module);
 
+/** Verifies a single function — the inter-pass hook of the pass manager,
+ *  which verifies the traced function between pre-lowering passes without
+ *  touching the rest of its module. */
+std::vector<std::string> Verify(const Func& func);
+
 /** Verifies and aborts with diagnostics on failure (for tests/pipelines). */
 void VerifyOrDie(const Module& module);
 

@@ -1,0 +1,146 @@
+#include "src/pass/passes.h"
+
+#include "src/ir/passes.h"
+#include "src/spmd/collectives.h"
+
+namespace partir {
+namespace {
+
+/** The report a tactic pass opened for its index (pipeline order guarantees
+ *  the tactic pass ran first). */
+TacticReport& ReportFor(PipelineState& state, int tactic_index) {
+  PARTIR_CHECK(tactic_index >= 0 &&
+               tactic_index < static_cast<int>(state.result.tactics.size()))
+      << "no TacticReport opened for tactic " << tactic_index;
+  return state.result.tactics[tactic_index];
+}
+
+}  // namespace
+
+std::string ManualTacticPass::name() const {
+  return StrCat("tactic[", tactic_index_, "]:",
+                tactic_.name.empty() ? StrCat("manual(", tactic_.axis, ")")
+                                     : tactic_.name);
+}
+
+Status ManualTacticPass::Run(PipelineState& state) {
+  TacticReport report;
+  report.name = tactic_.name.empty() ? StrCat("manual(", tactic_.axis, ")")
+                                     : tactic_.name;
+  PARTIR_ASSIGN_OR_RETURN(report.actions_applied,
+                          ApplyManualTacticOrError(state.ctx, tactic_));
+  report.conflicts = static_cast<int>(state.ctx.conflicts().size());
+  state.changes = report.actions_applied;
+  state.result.tactics.push_back(std::move(report));
+  return Status::Ok();
+}
+
+std::string AutoTacticPass::name() const {
+  return StrCat("tactic[", tactic_index_, "]:",
+                tactic_.name.empty() ? "auto" : tactic_.name);
+}
+
+Status AutoTacticPass::Run(PipelineState& state) {
+  TacticReport report;
+  report.name = tactic_.name.empty() ? "auto" : tactic_.name;
+  for (const std::string& axis : tactic_.axes) {
+    if (!state.ctx.mesh().HasAxis(axis)) {
+      return InvalidArgumentError("tactic '", report.name,
+                                  "': unknown mesh axis '", axis,
+                                  "' (mesh is ", state.ctx.mesh().ToString(),
+                                  ")");
+    }
+  }
+  AutoOptions auto_options = tactic_.options;
+  auto_options.device = state.options.device;
+  AutoResult found =
+      AutomaticallyPartition(state.ctx, tactic_.axes, auto_options);
+  report.actions_applied = static_cast<int>(found.actions.size());
+  report.evaluations = found.evaluations;
+  report.search_seconds = found.search_seconds;
+  report.conflicts = static_cast<int>(state.ctx.conflicts().size());
+  state.changes = report.actions_applied;
+  state.result.tactics.push_back(std::move(report));
+  return Status::Ok();
+}
+
+std::string PropagatePass::name() const { return "propagate"; }
+
+Status PropagatePass::Run(PipelineState& state) {
+  state.changes = state.ctx.Propagate();
+  if (tactic_index_ >= 0) {
+    ReportFor(state, tactic_index_).conflicts =
+        static_cast<int>(state.ctx.conflicts().size());
+  }
+  return Status::Ok();
+}
+
+std::string TacticReportPass::name() const {
+  return StrCat("report[", tactic_index_, "]");
+}
+
+Status TacticReportPass::Run(PipelineState& state) {
+  // Internal snapshot: state reached via checked actions cannot fail the
+  // lowering validation, so take the unchecked path.
+  SpmdModule snapshot = LowerToSpmd(state.ctx);
+  OptimizeSpmd(snapshot);
+  TacticReport& report = ReportFor(state, tactic_index_);
+  report.collectives = CountCollectives(*snapshot.module, snapshot.mesh);
+  report.estimate = EstimateSpmd(snapshot, state.options.device);
+  return Status::Ok();
+}
+
+std::string MaterializeLoopsPass::name() const { return "materialize-loops"; }
+
+Status MaterializeLoopsPass::Run(PipelineState& state) {
+  state.EnsureLoopSnapshot();  // the manager verifies it at capture
+  return Status::Ok();
+}
+
+std::string LowerToSpmdPass::name() const { return "lower-to-spmd"; }
+
+Status LowerToSpmdPass::Run(PipelineState& state) {
+  PARTIR_ASSIGN_OR_RETURN(state.result.spmd, LowerToSpmdOrError(state.ctx));
+  state.lowered = true;
+  state.changes = CountOps(*state.result.spmd.main());
+  return Status::Ok();
+}
+
+std::string FuseGatherSlicePass::name() const { return "fuse-gather-slice"; }
+
+Status FuseGatherSlicePass::Run(PipelineState& state) {
+  PARTIR_CHECK(state.lowered) << "fuse-gather-slice before lowering";
+  state.changes = RunSpmdPeephole(state.result.spmd, kRewriteGatherSlice);
+  return Status::Ok();
+}
+
+std::string FormReduceScatterPass::name() const {
+  return "form-reduce-scatter";
+}
+
+Status FormReduceScatterPass::Run(PipelineState& state) {
+  PARTIR_CHECK(state.lowered) << "form-reduce-scatter before lowering";
+  state.changes = RunSpmdPeephole(
+      state.result.spmd,
+      kRewriteReduceScatter | kRewriteReduceScatterPartial);
+  return Status::Ok();
+}
+
+std::string DcePass::name() const { return "dce"; }
+
+Status DcePass::Run(PipelineState& state) {
+  PARTIR_CHECK(state.lowered) << "dce before lowering";
+  state.changes = EliminateDeadCode(*state.result.spmd.mutable_main());
+  return Status::Ok();
+}
+
+std::string PlanCollectivesPass::name() const { return "plan-collectives"; }
+
+Status PlanCollectivesPass::Run(PipelineState& state) {
+  PARTIR_CHECK(state.lowered) << "plan-collectives before lowering";
+  state.result.spmd.plan = BuildCollectivePlan(state.result.spmd.mesh,
+                                               *state.result.spmd.module);
+  return Status::Ok();
+}
+
+}  // namespace partir

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * THE declaration of the partitioning pipeline: every Program::Partition /
+ * Executable::Respecialize (and the partition-cache miss path) compiles by
+ * building this pass pipeline and running it through a PassManager. New
+ * rewrite stages — serving batcher pre-passes, additional collective
+ * formations, autopart instrumentation — are added here and nowhere else.
+ */
+#ifndef PARTIR_PASS_PIPELINE_H_
+#define PARTIR_PASS_PIPELINE_H_
+
+#include <vector>
+
+#include "src/pass/pass_manager.h"
+#include "src/schedule/schedule.h"
+
+namespace partir {
+
+/**
+ * Ablation hooks for pipeline experiments (bench before/after rows). The
+ * facade always compiles with the defaults; a variant never enters the
+ * partition cache (callers that ablate must run the pipeline directly).
+ */
+struct PipelineVariant {
+  /** Include the form-reduce-scatter pass in the optimization fixpoint. */
+  bool form_reduce_scatter = true;
+};
+
+/**
+ * Registers the partition pipeline for `schedule` on `manager`:
+ *
+ *   per tactic i:  tactic[i]        (manual actions or automatic search)
+ *                  propagate        (incremental mode, manual tactics)
+ *                  report[i]        (per_tactic_reports)
+ *   then:          propagate        (PartIR-st: single deferred propagation)
+ *                  materialize-loops (capture_stages: final loop form)
+ *                  lower-to-spmd
+ *   to fixpoint:   fuse-gather-slice | form-reduce-scatter | dce
+ *   finally:       plan-collectives
+ */
+void BuildPartitionPipeline(PassManager& manager,
+                            const std::vector<Tactic>& schedule,
+                            const PartitionOptions& options,
+                            const PipelineVariant& variant = PipelineVariant());
+
+/**
+ * Runs the full pipeline over a fresh context and finalizes the result
+ * (final collective counts, estimate, conflicts, per-pass statistics).
+ * This is PartirJitOrError's engine; call it directly to ablate passes
+ * through a PipelineVariant (the bench before/after rows).
+ */
+StatusOr<PartitionResult> RunPartitionPipeline(
+    PartitionContext& ctx, const std::vector<Tactic>& schedule,
+    const PartitionOptions& options,
+    const PipelineVariant& variant = PipelineVariant());
+
+}  // namespace partir
+
+#endif  // PARTIR_PASS_PIPELINE_H_

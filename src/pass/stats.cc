@@ -1,0 +1,30 @@
+#include "src/pass/stats.h"
+
+#include "src/support/str_util.h"
+
+namespace partir {
+
+std::string PipelineStats::ToString() const {
+  std::string out = "pass                      ms      runs  changes  ops\n";
+  for (const PassStats& pass : passes) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-24s %7.3f %5lld %8lld  %lld->%lld%s\n",
+                  pass.name.c_str(), pass.seconds * 1e3,
+                  static_cast<long long>(pass.runs),
+                  static_cast<long long>(pass.changes),
+                  static_cast<long long>(pass.ops_before),
+                  static_cast<long long>(pass.ops_after),
+                  pass.lowered
+                      ? StrCat("  [", pass.collectives.ToString(), "]").c_str()
+                      : "");
+    out += line;
+  }
+  char tail[96];
+  std::snprintf(tail, sizeof(tail), "verify: %d runs, %.3f ms; total %.3f ms\n",
+                static_cast<int>(verify_runs), verify_seconds * 1e3,
+                total_seconds * 1e3);
+  out += tail;
+  return out;
+}
+
+}  // namespace partir

@@ -1,18 +1,9 @@
 #include "src/schedule/schedule.h"
 
-#include <chrono>
-
-#include "src/core/materialize.h"
-#include "src/spmd/collectives.h"
+#include "src/pass/pipeline.h"
 
 namespace partir {
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double SecondsSince(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
 
 /** Values a manual tactic's key selects: exact match, else substring match
  *  over function inputs and tagged values. */
@@ -127,79 +118,9 @@ int ApplyManualTactic(PartitionContext& ctx, const ManualPartition& tactic) {
 StatusOr<PartitionResult> PartirJitOrError(PartitionContext& ctx,
                                            const std::vector<Tactic>& schedule,
                                            const PartitionOptions& options) {
-  PartitionResult result;
-  auto total_start = Clock::now();
-
-  for (const Tactic& tactic : schedule) {
-    auto tactic_start = Clock::now();
-    TacticReport report;
-    if (const auto* manual = std::get_if<ManualPartition>(&tactic)) {
-      report.name = manual->name.empty()
-                        ? StrCat("manual(", manual->axis, ")")
-                        : manual->name;
-      PARTIR_ASSIGN_OR_RETURN(report.actions_applied,
-                              ApplyManualTacticOrError(ctx, *manual));
-      if (options.incremental) ctx.Propagate();
-    } else {
-      const auto& automatic = std::get<AutomaticPartition>(tactic);
-      report.name = automatic.name.empty() ? "auto" : automatic.name;
-      for (const std::string& axis : automatic.axes) {
-        if (!ctx.mesh().HasAxis(axis)) {
-          return InvalidArgumentError("tactic '", report.name,
-                                      "': unknown mesh axis '", axis,
-                                      "' (mesh is ", ctx.mesh().ToString(),
-                                      ")");
-        }
-      }
-      AutoOptions auto_options = automatic.options;
-      auto_options.device = options.device;
-      AutoResult found =
-          AutomaticallyPartition(ctx, automatic.axes, auto_options);
-      report.actions_applied = static_cast<int>(found.actions.size());
-      report.evaluations = found.evaluations;
-      report.search_seconds = found.search_seconds;
-    }
-    report.conflicts = static_cast<int>(ctx.conflicts().size());
-    report.tactic_seconds = SecondsSince(tactic_start);
-
-    if (options.capture_stages) {
-      report.loop_module = MaterializeLoops(ctx);
-    }
-    if (options.per_tactic_reports) {
-      // Internal snapshot: state reached via checked actions cannot fail
-      // the lowering validation, so take the unchecked path.
-      SpmdModule snapshot = LowerToSpmd(ctx);
-      OptimizeSpmd(snapshot);
-      report.collectives = CountCollectives(*snapshot.module, snapshot.mesh);
-      report.estimate = EstimateSpmd(snapshot, options.device);
-    }
-    result.tactics.push_back(std::move(report));
-  }
-
-  if (!options.incremental) ctx.Propagate();  // PartIR-st: one propagation
-
-  if (options.capture_stages) {
-    // In incremental mode the context is unchanged since the last tactic's
-    // capture, so alias it instead of cloning the module again.
-    if (options.incremental && !result.tactics.empty() &&
-        result.tactics.back().loop_module != nullptr) {
-      result.loop_module = result.tactics.back().loop_module;
-    } else {
-      result.loop_module = MaterializeLoops(ctx);
-    }
-  }
-  PARTIR_ASSIGN_OR_RETURN(result.spmd, LowerToSpmdOrError(ctx));
-  OptimizeSpmd(result.spmd);
-  // Plan the collectives once (replica groups, parsed attributes) so every
-  // subsequent Run skips the per-device coordinate arithmetic.
-  result.spmd.plan = BuildCollectivePlan(result.spmd.mesh,
-                                         *result.spmd.module);
-  result.collectives = CountCollectives(*result.spmd.module,
-                                        result.spmd.mesh);
-  result.estimate = EstimateSpmd(result.spmd, options.device);
-  result.conflicts = ctx.conflicts();
-  result.partition_seconds = SecondsSince(total_start);
-  return result;
+  // The pipeline is declared once, as a pass pipeline (pipeline.cc); this
+  // is just its facade-facing name.
+  return RunPartitionPipeline(ctx, schedule, options);
 }
 
 PartitionResult PartirJit(PartitionContext& ctx,

@@ -20,6 +20,7 @@
 
 #include "src/autopart/mcts.h"
 #include "src/core/context.h"
+#include "src/pass/stats.h"
 #include "src/sim/cost_model.h"
 #include "src/spmd/lowering.h"
 #include "src/spmd/optimize.h"
@@ -67,10 +68,6 @@ struct TacticReport {
   double tactic_seconds = 0;     // wall-clock spent in this tactic
   int evaluations = 0;           // simulator evaluations (automatic tactics)
   double search_seconds = 0;     // search wall-clock (automatic tactics)
-  /** PartIR:Core loop form after this tactic's prefix (the paper's
-   *  per-tactic verification artifact); set when
-   *  PartitionOptions::capture_stages is true. */
-  std::shared_ptr<const Module> loop_module;
 };
 
 /** Pipeline options. */
@@ -84,11 +81,17 @@ struct PartitionOptions {
   bool incremental = true;
   /** Lower + simulate after every tactic (per-tactic metadata). */
   bool per_tactic_reports = true;
-  /** Materialize the loop form after every tactic so Executable::Print can
-   *  render any tactic prefix (the paper's per-tactic verification
-   *  workflow). Each capture clones the module and is retained for the
-   *  executable's lifetime, so it is opt-in. */
+  /** Capture a printable IR snapshot at every pipeline stage (the loop form
+   *  after each tactic, the final loop form, the device-local module) so
+   *  Executable::Print can render any tactic prefix (the paper's per-tactic
+   *  verification workflow). Each capture clones a module and is retained
+   *  for the executable's lifetime, so it is opt-in. */
   bool capture_stages = false;
+  /** Run the IR verifier between pipeline passes (defaults on in
+   *  assertion-enabled builds). A violation surfaces as a typed kInternal
+   *  Status naming the pass. Not part of the cache key (it cannot change
+   *  the partitioned program). */
+  bool verify_passes = kVerifyPassesDefault;
   /** Consult (and populate) the Program's partition cache. Turn off to
    *  force the full pipeline on every call — e.g. when benchmarking it.
    *  Not part of the cache key (it does not change the result). */
@@ -103,8 +106,13 @@ struct PartitionResult {
   std::vector<TacticReport> tactics;   // per-tactic metadata
   double partition_seconds = 0;        // total PartIR time (Figure 8)
   std::vector<Conflict> conflicts;     // all recorded conflicts
-  /** Loop form after the full schedule (capture_stages). */
-  std::shared_ptr<const Module> loop_module;
+  /** Per-pass timings, op deltas and collective counts of the pipeline run
+   *  that produced this result (copied verbatim on cache hits). */
+  PipelineStats pipeline;
+  /** Stage snapshots captured by the pass manager (capture_stages):
+   *  the loop form after every tactic prefix and after the full schedule.
+   *  Executable::Print(Stage) renders these. */
+  std::vector<StageSnapshot> snapshots;
 };
 
 /**

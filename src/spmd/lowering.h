@@ -51,6 +51,27 @@ struct SpmdModule {
   std::shared_ptr<const CollectivePlan> plan;
 
   Func* main() const { return module->main(); }
+
+  /**
+   * All mutable access to the lowered module goes through these helpers,
+   * which drop the precomputed collective plan: a pass (or backend) that
+   * rewrites the module can never leave a stale plan behind for the next
+   * Run to walk into.
+   */
+  Module& mutable_module() {
+    InvalidatePlan();
+    return *module;
+  }
+  Func* mutable_main() {
+    InvalidatePlan();
+    return module->main();
+  }
+  /** Replaces the module wholesale (rebuild-style rewrite passes). */
+  void ResetModule(std::unique_ptr<Module> next) {
+    InvalidatePlan();
+    module = std::move(next);
+  }
+  void InvalidatePlan() { plan.reset(); }
 };
 
 /**

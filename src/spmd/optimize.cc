@@ -29,10 +29,20 @@ bool AllEmpty(const AxesPerDim& axes) {
   return true;
 }
 
-// Rebuilds the function applying peephole rewrites; returns rewrite count.
+bool AxesDisjoint(const std::vector<std::string>& a,
+                  const std::vector<std::string>& b) {
+  for (const std::string& axis : b) {
+    if (std::find(a.begin(), a.end(), axis) != a.end()) return false;
+  }
+  return true;
+}
+
+// Rebuilds the function applying the enabled peephole rewrites; returns
+// rewrite count.
 class Peephole {
  public:
-  Peephole(SpmdModule& spmd) : spmd_(spmd) {}
+  Peephole(SpmdModule& spmd, unsigned rewrites)
+      : spmd_(spmd), enabled_(rewrites) {}
 
   int64_t RunOnce() {
     Func* func = spmd_.main();
@@ -52,15 +62,17 @@ class Peephole {
     for (const auto& op : func->body().ops()) {
       VisitOp(*op);
     }
-    // Swap the rebuilt function into the module.
+    // Swap the rebuilt function into the module (through the helper that
+    // drops any precomputed collective plan).
     auto fresh = std::make_unique<Module>();
     CloneFunc(*next, *fresh, func->name(), nullptr);
-    spmd_.module = std::move(fresh);
-    EliminateDeadCode(*spmd_.main());
+    spmd_.ResetModule(std::move(fresh));
     return rewrites_;
   }
 
  private:
+  bool Enabled(unsigned mask) const { return (enabled_ & mask) != 0; }
+
   Value* Mapped(const Value* value) {
     auto it = map_.find(value);
     PARTIR_CHECK(it != map_.end()) << "optimize: unmapped value";
@@ -101,6 +113,10 @@ class Peephole {
   void VisitOp(const Operation& op) {
     switch (op.kind()) {
       case OpKind::kAllSlice: {
+        if (!Enabled(kRewriteGatherSlice)) {
+          if (!RewriteAllSlice(op)) CloneWithMappedOperands(op);
+          return;
+        }
         // CSE identical slices: all_slice is communication-free and local,
         // so sharing one shard among uses changes neither collective counts
         // nor peak memory (unlike all_gather, which is deliberately
@@ -117,17 +133,23 @@ class Peephole {
         return;
       }
       case OpKind::kAllGather:
-        if (RewriteAllGather(op)) return;
+        if (Enabled(kRewriteGatherSlice) && RewriteAllGather(op)) return;
         break;
       case OpKind::kAllReduce:
-        if (op.attrs().Get<std::vector<std::string>>("axes").empty()) {
+        // No-op removal belongs to the gather/slice family with the other
+        // empty-axes collectives; merging is reduce-scatter formation.
+        if (Enabled(kRewriteGatherSlice) &&
+            op.attrs().Get<std::vector<std::string>>("axes").empty()) {
           map_[op.result()] = Mapped(op.operand(0));
           ++rewrites_;
           return;
         }
+        if (Enabled(kRewriteReduceScatter) && RewriteAllReduce(op)) return;
         break;
       case OpKind::kAdd:
-        if (RewriteAddOfAllReduces(op)) return;
+        if (Enabled(kRewriteReduceScatter) && RewriteAddOfAllReduces(op)) {
+          return;
+        }
         break;
       case OpKind::kTranspose:
         if (RewriteTranspose(op)) return;
@@ -136,6 +158,32 @@ class Peephole {
         break;
     }
     CloneWithMappedOperands(op);
+  }
+
+  // Merges adjacent same-reduction all_reduces into one multi-axis
+  // all_reduce — the normal form the reduce-scatter formation below
+  // matches embedding-style multi-axis chains against.
+  bool RewriteAllReduce(const Operation& op) {
+    const auto& axes = op.attrs().Get<std::vector<std::string>>("axes");
+    const Operation* def = op.operand(0)->def();
+    if (def != nullptr && def->kind() == OpKind::kAllReduce &&
+        uses_[def->result()] == 1 &&
+        def->attrs().Get<std::string>("reduction") ==
+            op.attrs().Get<std::string>("reduction") &&
+        AxesDisjoint(def->attrs().Get<std::vector<std::string>>("axes"),
+                     axes)) {
+      // Disjointness matters: re-reducing an already-reduced axis is not a
+      // no-op for "sum" (it would scale by the group size again).
+      std::vector<std::string> merged =
+          def->attrs().Get<std::vector<std::string>>("axes");
+      merged.insert(merged.end(), axes.begin(), axes.end());
+      map_[op.result()] = builder_.AllReduce(
+          Mapped(def->operand(0)), merged,
+          op.attrs().Get<std::string>("reduction"));
+      ++rewrites_;
+      return true;
+    }
+    return false;
   }
 
   // transpose with the identity permutation -> operand; transpose of a
@@ -147,11 +195,12 @@ class Peephole {
     for (size_t i = 0; i < perm.size(); ++i) {
       if (perm[i] != static_cast<int64_t>(i)) identity = false;
     }
-    if (identity) {
+    if (identity && Enabled(kRewriteGatherSlice)) {
       map_[op.result()] = Mapped(op.operand(0));
       ++rewrites_;
       return true;
     }
+    if (!Enabled(kRewriteReduceScatter)) return false;
     const Operation* def = op.operand(0)->def();
     if (def != nullptr && def->kind() == OpKind::kAllReduce &&
         uses_[def->result()] == 1) {
@@ -215,40 +264,91 @@ class Peephole {
   bool RewriteAllSlice(const Operation& op) {
     const auto& slice_axes = op.attrs().Get<AxesPerDim>("axes_per_dim");
     if (AllEmpty(slice_axes)) {
+      if (!Enabled(kRewriteGatherSlice)) return false;
       map_[op.result()] = Mapped(op.operand(0));
       ++rewrites_;
       return true;
     }
     const Operation* def = op.operand(0)->def();
-    // Pattern: all_slice(all_reduce(y)) with sliced axes among the reduced
-    // axes -> reduce_scatter (+ residual all_reduce for leftover axes).
-    if (def != nullptr && def->kind() == OpKind::kAllReduce) {
+    // Pattern: all_slice(all_reduce(y)) -> reduce_scatter over the sliced
+    // axes that are among the reduced axes, plus a residual all_reduce for
+    // reduced-but-unsliced axes. The embedding-style multi-axis chain — an
+    // all_slice that also re-tiles axes the all_reduce never reduced (e.g.
+    // a gradient reduced over the batch axes but sliced to a parameter
+    // sharded over batch *and* model) — additionally keeps a residual
+    // all_slice for those axes (kRewriteReduceScatterPartial).
+    if (def != nullptr && def->kind() == OpKind::kAllReduce &&
+        Enabled(kRewriteReduceScatter)) {
       auto reduce_axes = def->attrs().Get<std::vector<std::string>>("axes");
       const std::string& reduction =
           def->attrs().Get<std::string>("reduction");
+      // Fold a chain of single-use, same-reduction, disjoint-axes
+      // all_reduces feeding the slice into one multi-axis match (the
+      // embedding-style chain across multiple mesh axes arrives as nested
+      // per-axis reduces).
+      const Operation* innermost = def;
+      if (Enabled(kRewriteReduceScatterPartial)) {
+        while (true) {
+          const Operation* next = innermost->operand(0)->def();
+          if (next == nullptr || next->kind() != OpKind::kAllReduce ||
+              uses_[innermost->operand(0)] != 1 ||
+              next->attrs().Get<std::string>("reduction") != reduction ||
+              !AxesDisjoint(
+                  reduce_axes,
+                  next->attrs().Get<std::vector<std::string>>("axes"))) {
+            break;
+          }
+          const auto& inner_axes =
+              next->attrs().Get<std::vector<std::string>>("axes");
+          reduce_axes.insert(reduce_axes.end(), inner_axes.begin(),
+                             inner_axes.end());
+          innermost = next;
+        }
+      }
       std::map<std::string, int64_t> sliced = AxisDims(slice_axes);
-      bool subset = true;
+      std::map<std::string, int64_t> outside;  // sliced but not reduced
       for (const auto& [axis, dim] : sliced) {
         if (std::find(reduce_axes.begin(), reduce_axes.end(), axis) ==
             reduce_axes.end()) {
-          subset = false;
+          outside[axis] = dim;
         }
       }
-      if (subset) {
-        Value* y = Mapped(def->operand(0));
-        Value* rs = builder_.ReduceScatter(y, slice_axes, reduction);
-        std::vector<std::string> leftover;
+      const bool scatterable = static_cast<int64_t>(outside.size()) <
+                               static_cast<int64_t>(sliced.size());
+      if (scatterable &&
+          (outside.empty() || Enabled(kRewriteReduceScatterPartial))) {
+        Value* y = Mapped(innermost->operand(0));
+        // Keep the attribute's per-dim axis order (it encodes the nested
+        // tiling order of the shard layout).
+        AxesPerDim scatter(slice_axes.size());
+        for (size_t dim = 0; dim < slice_axes.size(); ++dim) {
+          for (const std::string& axis : slice_axes[dim]) {
+            if (!outside.count(axis)) scatter[dim].push_back(axis);
+          }
+        }
+        Value* rs = builder_.ReduceScatter(y, scatter, reduction);
+        std::vector<std::string> leftover;  // reduced but not sliced
         for (const std::string& axis : reduce_axes) {
           if (!sliced.count(axis)) leftover.push_back(axis);
         }
         if (!leftover.empty()) {
           rs = builder_.AllReduce(rs, leftover, reduction);
         }
+        if (!outside.empty()) {
+          AxesPerDim residual(rs->tensor_type().rank());
+          for (size_t dim = 0; dim < slice_axes.size(); ++dim) {
+            for (const std::string& axis : slice_axes[dim]) {
+              if (outside.count(axis)) residual[dim].push_back(axis);
+            }
+          }
+          rs = builder_.AllSlice(rs, residual);
+        }
         map_[op.result()] = rs;
         ++rewrites_;
         return true;
       }
     }
+    if (!Enabled(kRewriteGatherSlice)) return false;
     // Pattern: all_slice(all_gather(y)): cancel matching axes; axes present
     // in both on different dims become all_to_all.
     if (def != nullptr && def->kind() == OpKind::kAllGather) {
@@ -339,6 +439,7 @@ class Peephole {
   }
 
   SpmdModule& spmd_;
+  unsigned enabled_;
   OpBuilder builder_{nullptr};
   std::map<const Value*, Value*> map_;
   std::map<const Value*, int64_t> uses_;
@@ -348,10 +449,15 @@ class Peephole {
 
 }  // namespace
 
+int64_t RunSpmdPeephole(SpmdModule& spmd, unsigned rewrites) {
+  return Peephole(spmd, rewrites).RunOnce();
+}
+
 int64_t OptimizeSpmd(SpmdModule& spmd) {
   int64_t total = 0;
   for (int iteration = 0; iteration < 8; ++iteration) {
-    int64_t rewrites = Peephole(spmd).RunOnce();
+    int64_t rewrites = RunSpmdPeephole(spmd, kRewriteAllSpmd);
+    EliminateDeadCode(*spmd.mutable_main());
     total += rewrites;
     if (rewrites == 0) break;
   }

@@ -1,12 +1,27 @@
 /**
  * @file
- * SPMD-level collective optimizations (Section 6):
- *   - all_reduce followed by all_slice on reduced axes  -> reduce_scatter
+ * SPMD-level collective optimizations (Section 6), as two maskable rewrite
+ * families the pass pipeline registers as separate passes:
+ *
+ * Gather/slice fusion (kRewriteGatherSlice):
  *   - all_gather + all_slice of the same axes           -> cancel / all_to_all
  *   - all_slice of splat constants / iota               -> local constants
- *   - no-op collectives (empty axes)                    -> removed
+ *   - no-op collectives (empty axes), identity transposes -> removed
+ *   - identical all_slice CSE
+ *
+ * Reduce-scatter formation (kRewriteReduceScatter, + the multi-axis
+ * partial-residual case under kRewriteReduceScatterPartial):
+ *   - all_reduce followed by all_slice on reduced axes  -> reduce_scatter
+ *     (+ residual all_reduce for reduced-but-unsliced axes, and — partial
+ *     case — a residual all_slice for sliced-but-unreduced axes, the
+ *     embedding-style chain across multiple mesh axes)
+ *   - adjacent same-reduction all_reduces               -> one multi-axis AR
+ *   - add of two identical-axes all_reduce/reduce_scatter partial sums
+ *     -> collective of the add (gradient accumulation linearity)
+ *   - transpose of a single-use all_reduce commutes inside it
+ *
  * plus dead-code elimination. Collective counts (Table 3) and cost estimates
- * are taken after this pass, as in the paper.
+ * are taken after these passes, as in the paper.
  */
 #ifndef PARTIR_SPMD_OPTIMIZE_H_
 #define PARTIR_SPMD_OPTIMIZE_H_
@@ -19,7 +34,30 @@
 
 namespace partir {
 
-/** Optimizes the SPMD module in place. Returns number of rewrites applied. */
+/** Rewrite families of the SPMD peephole (bitmask). */
+inline constexpr unsigned kRewriteGatherSlice = 1u << 0;
+inline constexpr unsigned kRewriteReduceScatter = 1u << 1;
+/** Multi-axis partial-residual reduce-scatter formation: all_slice axes
+ *  only partially covered by the reduced axes still form a reduce_scatter
+ *  over the intersection, with residual collectives for the rest. */
+inline constexpr unsigned kRewriteReduceScatterPartial = 1u << 2;
+inline constexpr unsigned kRewriteAllSpmd =
+    kRewriteGatherSlice | kRewriteReduceScatter | kRewriteReduceScatterPartial;
+
+/**
+ * One peephole sweep: rebuilds the module applying the masked rewrite
+ * families and returns the number of rewrites applied (no DCE — run
+ * EliminateDeadCode separately). Drops the module's collective plan.
+ */
+int64_t RunSpmdPeephole(SpmdModule& spmd, unsigned rewrites);
+
+/**
+ * Optimizes the SPMD module in place: all rewrite families plus DCE, to
+ * fixpoint. The compiler-internal convenience used by hot paths that bypass
+ * the pass pipeline (one MCTS candidate evaluation lowers and optimizes per
+ * simulation); the facade pipeline runs the same rewrites as separate
+ * registered passes. Returns the number of rewrites applied.
+ */
 int64_t OptimizeSpmd(SpmdModule& spmd);
 
 /** Collective-communication counts of a module (the rows of Table 3). */

@@ -301,6 +301,123 @@ TEST(SpmdOptimizeTest, GatherSliceAcrossDimsBecomesAllToAll) {
   EXPECT_EQ(stats.all_slice, 0);
 }
 
+// ---- Reduce-scatter formation (the form-reduce-scatter pass family) ----
+
+/** Builds an empty device-local module over `mesh` with a builder wired to
+ *  its main function. */
+SpmdModule EmptySpmd(const Mesh& mesh, OpBuilder& builder) {
+  SpmdModule spmd;
+  spmd.module = std::make_unique<Module>();
+  spmd.mesh = mesh;
+  spmd.module->AddFunc("main");
+  builder.SetInsertionBlock(&spmd.main()->body());
+  builder.SetAxisSizeFn(
+      [mesh](const std::string& a) { return mesh.AxisSize(a); });
+  return spmd;
+}
+
+TEST(SpmdOptimizeTest, ReduceScatterFormsAcrossPartialAxisOverlap) {
+  // The embedding-style multi-axis chain: a gradient all_reduced over axis
+  // "a" but sliced to a parameter sharded over "a" *and* "b". The sliced
+  // axis outside the reduction survives as a residual all_slice; the
+  // overlap still forms a reduce_scatter.
+  Mesh mesh({{"a", 2}, {"b", 2}});
+  OpBuilder builder(nullptr);
+  SpmdModule spmd = EmptySpmd(mesh, builder);
+  Value* x = spmd.main()->body().AddArg(TensorType({8, 8}), "x");
+  Value* reduced = builder.AllReduce(x, {"a"}, "sum");
+  Value* sliced = builder.AllSlice(reduced, {{"a"}, {"b"}});
+  builder.Return({sliced});
+
+  EXPECT_GT(RunSpmdPeephole(
+                spmd, kRewriteReduceScatter | kRewriteReduceScatterPartial),
+            0);
+  EliminateDeadCode(*spmd.mutable_main());
+  CollectiveStats stats = CountCollectives(*spmd.module, spmd.mesh);
+  EXPECT_EQ(stats.all_reduce, 0);
+  EXPECT_EQ(stats.reduce_scatter, 1);
+  EXPECT_EQ(stats.all_slice, 1);  // residual slice over the unreduced axis
+  EXPECT_EQ(spmd.main()->results()[0]->tensor_type(), TensorType({4, 4}));
+}
+
+TEST(SpmdOptimizeTest, PartialOverlapKeepsResidualAllReduce) {
+  // Reduced over {a, c}, sliced over {a, b}: reduce_scatter on the overlap
+  // {a}, residual all_reduce on {c}, residual all_slice on {b}.
+  Mesh mesh({{"a", 2}, {"b", 2}, {"c", 2}});
+  OpBuilder builder(nullptr);
+  SpmdModule spmd = EmptySpmd(mesh, builder);
+  Value* x = spmd.main()->body().AddArg(TensorType({8, 8}), "x");
+  Value* reduced = builder.AllReduce(x, {"a", "c"}, "sum");
+  Value* sliced = builder.AllSlice(reduced, {{"a"}, {"b"}});
+  builder.Return({sliced});
+
+  OptimizeSpmd(spmd);
+  CollectiveStats stats = CountCollectives(*spmd.module, spmd.mesh);
+  EXPECT_EQ(stats.reduce_scatter, 1);
+  EXPECT_EQ(stats.all_reduce, 1);
+  EXPECT_EQ(stats.all_slice, 1);
+  EXPECT_EQ(spmd.main()->results()[0]->tensor_type(), TensorType({4, 4}));
+}
+
+TEST(SpmdOptimizeTest, PartialOverlapIsGatedBehindItsRewriteBit) {
+  // Without kRewriteReduceScatterPartial the legacy subset-only behavior
+  // holds: a partially overlapping chain is left alone.
+  Mesh mesh({{"a", 2}, {"b", 2}});
+  OpBuilder builder(nullptr);
+  SpmdModule spmd = EmptySpmd(mesh, builder);
+  Value* x = spmd.main()->body().AddArg(TensorType({8, 8}), "x");
+  Value* reduced = builder.AllReduce(x, {"a"}, "sum");
+  Value* sliced = builder.AllSlice(reduced, {{"a"}, {"b"}});
+  builder.Return({sliced});
+
+  EXPECT_EQ(RunSpmdPeephole(spmd, kRewriteReduceScatter), 0);
+  CollectiveStats stats = CountCollectives(*spmd.module, spmd.mesh);
+  EXPECT_EQ(stats.all_reduce, 1);
+  EXPECT_EQ(stats.reduce_scatter, 0);
+}
+
+TEST(SpmdOptimizeTest, AdjacentAllReducesMergeAndFullyScatter) {
+  // all_reduce("b") of all_reduce("a") merges into one multi-axis
+  // all_reduce, which the following two-axis slice turns into a single
+  // reduce_scatter — the chain across multiple mesh axes.
+  Mesh mesh({{"a", 2}, {"b", 2}});
+  OpBuilder builder(nullptr);
+  SpmdModule spmd = EmptySpmd(mesh, builder);
+  Value* x = spmd.main()->body().AddArg(TensorType({8, 8}), "x");
+  Value* ar_a = builder.AllReduce(x, {"a"}, "sum");
+  Value* ar_b = builder.AllReduce(ar_a, {"b"}, "sum");
+  Value* sliced = builder.AllSlice(ar_b, {{"a"}, {"b"}});
+  builder.Return({sliced});
+
+  OptimizeSpmd(spmd);
+  CollectiveStats stats = CountCollectives(*spmd.module, spmd.mesh);
+  EXPECT_EQ(stats.all_reduce, 0);
+  EXPECT_EQ(stats.reduce_scatter, 1);
+  EXPECT_EQ(stats.all_slice, 0);
+  EXPECT_EQ(spmd.main()->results()[0]->tensor_type(), TensorType({4, 4}));
+}
+
+TEST(SpmdOptimizeTest, SubsetFormationUnchangedByPartialBit) {
+  // The legacy subset case (sliced axes all reduced) forms the same
+  // reduce_scatter + leftover all_reduce with or without the partial bit.
+  for (unsigned mask :
+       {kRewriteReduceScatter,
+        kRewriteReduceScatter | kRewriteReduceScatterPartial}) {
+    Mesh mesh({{"a", 2}, {"b", 2}});
+    OpBuilder builder(nullptr);
+    SpmdModule spmd = EmptySpmd(mesh, builder);
+    Value* x = spmd.main()->body().AddArg(TensorType({8, 8}), "x");
+    Value* reduced = builder.AllReduce(x, {"a", "b"}, "sum");
+    Value* sliced = builder.AllSlice(reduced, {{"a"}, {}});
+    builder.Return({sliced});
+    EXPECT_GT(RunSpmdPeephole(spmd, mask), 0);
+    EliminateDeadCode(*spmd.mutable_main());
+    CollectiveStats stats = CountCollectives(*spmd.module, spmd.mesh);
+    EXPECT_EQ(stats.reduce_scatter, 1) << "mask " << mask;
+    EXPECT_EQ(stats.all_reduce, 1) << "mask " << mask;  // leftover {b}
+  }
+}
+
 // End-to-end property sweep: model x schedule x mesh. Every partitioned
 // program must match the reference bit-for-bit (within float tolerance).
 struct E2eParam {
