@@ -7,22 +7,16 @@
 
 namespace partir {
 
-std::shared_ptr<const PartitionResult> PartitionCache::Lookup(
+std::shared_ptr<const PartitionResult> PartitionCache::LookupLocked(
     const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
-  if (it == entries_.end()) {
-    ++misses_;
-    return nullptr;
-  }
-  ++hits_;
+  if (it == entries_.end()) return nullptr;
   lru_.splice(lru_.begin(), lru_, it->second.recency);
   return it->second.result;
 }
 
-void PartitionCache::Insert(const std::string& key,
-                            std::shared_ptr<const PartitionResult> result) {
-  std::lock_guard<std::mutex> lock(mu_);
+void PartitionCache::InsertLocked(
+    const std::string& key, std::shared_ptr<const PartitionResult> result) {
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     it->second.result = std::move(result);
@@ -37,11 +31,88 @@ void PartitionCache::Insert(const std::string& key,
   }
 }
 
+std::shared_ptr<const PartitionResult> PartitionCache::Lookup(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<const PartitionResult> result = LookupLocked(key);
+  if (result == nullptr) {
+    ++misses_;
+  } else {
+    ++hits_;
+  }
+  return result;
+}
+
+void PartitionCache::Insert(const std::string& key,
+                            std::shared_ptr<const PartitionResult> result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  InsertLocked(key, std::move(result));
+}
+
+StatusOr<std::shared_ptr<const PartitionResult>> PartitionCache::GetOrCompute(
+    const std::string& key,
+    const std::function<StatusOr<PartitionResult>()>& compute) {
+  std::shared_ptr<Inflight> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (std::shared_ptr<const PartitionResult> hit = LookupLocked(key)) {
+      ++hits_;
+      return hit;
+    }
+    auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      flight = it->second;
+    } else {
+      ++misses_;
+      flight = std::make_shared<Inflight>();
+      inflight_[key] = flight;
+      leader = true;
+    }
+  }
+
+  if (!leader) {
+    // Join the in-flight computation instead of running the pipeline again.
+    std::unique_lock<std::mutex> lock(flight->mu);
+    flight->cv.wait(lock, [&] { return flight->done; });
+    if (!flight->status.ok()) return flight->status;
+    {
+      std::lock_guard<std::mutex> cache_lock(mu_);
+      ++hits_;
+      ++joins_;
+    }
+    return flight->result;
+  }
+
+  // Leader: run the pipeline outside every lock, then publish.
+  StatusOr<PartitionResult> computed = compute();
+  std::shared_ptr<const PartitionResult> stored;
+  if (computed.ok()) {
+    stored = std::make_shared<const PartitionResult>(
+        std::move(computed).value());
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_.erase(key);
+    if (stored != nullptr) InsertLocked(key, stored);
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->done = true;
+    flight->status = computed.ok() ? Status::Ok() : computed.status();
+    flight->result = stored;
+  }
+  flight->cv.notify_all();
+  if (stored == nullptr) return computed.status();
+  return stored;
+}
+
 PartitionCacheStats PartitionCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   PartitionCacheStats stats;
   stats.hits = hits_;
   stats.misses = misses_;
+  stats.joins = joins_;
   stats.entries = static_cast<int64_t>(entries_.size());
   stats.capacity = capacity_;
   return stats;
@@ -123,7 +194,19 @@ PartitionResult ClonePartitionResult(const PartitionResult& result) {
   out.partition_seconds = result.partition_seconds;
   out.conflicts = result.conflicts;
   out.pipeline = result.pipeline;
-  out.snapshots = result.snapshots;  // snapshot modules immutable, shared
+  // Clone the stage snapshots along with the module, so a cache-hit
+  // executable's printable stages are as self-contained as its spmd module.
+  // Snapshots that alias one module (the final loop form aliasing the last
+  // tactic's capture) keep aliasing the same clone.
+  std::map<const Module*, std::shared_ptr<const Module>> cloned;
+  out.snapshots.reserve(result.snapshots.size());
+  for (const StageSnapshot& snapshot : result.snapshots) {
+    std::shared_ptr<const Module>& clone = cloned[snapshot.module.get()];
+    if (clone == nullptr) clone = CloneModule(*snapshot.module);
+    StageSnapshot copy = snapshot;
+    copy.module = clone;
+    out.snapshots.push_back(std::move(copy));
+  }
   return out;
 }
 
@@ -137,16 +220,13 @@ StatusOr<PartitionResult> PartitionThroughCache(
   }
   const std::string key =
       PartitionCacheKey(trace_fingerprint, schedule, mesh, options);
-  if (std::shared_ptr<const PartitionResult> hit = cache.Lookup(key)) {
-    return ClonePartitionResult(*hit);
-  }
-  PartitionContext ctx(traced, mesh);
-  PARTIR_ASSIGN_OR_RETURN(PartitionResult result,
-                          PartirJitOrError(ctx, schedule, options));
-  cache.Insert(key,
-               std::make_shared<const PartitionResult>(
-                   ClonePartitionResult(result)));
-  return result;
+  PARTIR_ASSIGN_OR_RETURN(
+      std::shared_ptr<const PartitionResult> cached,
+      cache.GetOrCompute(key, [&]() -> StatusOr<PartitionResult> {
+        PartitionContext ctx(traced, mesh);
+        return PartirJitOrError(ctx, schedule, options);
+      }));
+  return ClonePartitionResult(*cached);
 }
 
 }  // namespace partir

@@ -15,7 +15,9 @@
 #ifndef PARTIR_API_PARTITION_CACHE_H_
 #define PARTIR_API_PARTITION_CACHE_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <map>
 #include <memory>
@@ -31,6 +33,11 @@ namespace partir {
 struct PartitionCacheStats {
   int64_t hits = 0;
   int64_t misses = 0;
+  /** Requests that arrived while another thread was already compiling the
+   *  same key and were served by waiting for it (single-flight followers —
+   *  a concurrent miss-storm runs the pipeline once, not N times). Joins
+   *  also count as hits: the cache satisfied them without a pipeline run. */
+  int64_t joins = 0;
   int64_t entries = 0;
   int64_t capacity = 0;
 };
@@ -57,6 +64,20 @@ class PartitionCache {
   void Insert(const std::string& key,
               std::shared_ptr<const PartitionResult> result);
 
+  /**
+   * Single-flight lookup-or-compile. A hit returns the cached entry. On a
+   * miss, exactly one caller (the leader) runs `compute` — outside any cache
+   * lock — and inserts the result; concurrent callers with the same key
+   * join the in-flight computation and wait for it instead of running the
+   * pipeline again (the serving miss-storm: many workers racing to warm the
+   * same shape class must yield ONE pipeline run and ONE entry). Errors are
+   * not cached; followers of a failed leader receive the leader's status,
+   * and the next call retries fresh.
+   */
+  StatusOr<std::shared_ptr<const PartitionResult>> GetOrCompute(
+      const std::string& key,
+      const std::function<StatusOr<PartitionResult>()>& compute);
+
   PartitionCacheStats stats() const;
 
  private:
@@ -65,12 +86,28 @@ class PartitionCache {
     std::list<std::string>::iterator recency;  // position in lru_
   };
 
+  /** Rendezvous for callers that joined an in-flight computation. */
+  struct Inflight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status status = Status::Ok();
+    std::shared_ptr<const PartitionResult> result;
+  };
+
+  /** Lookup under mu_ held, refreshing recency; does not touch counters. */
+  std::shared_ptr<const PartitionResult> LookupLocked(const std::string& key);
+  void InsertLocked(const std::string& key,
+                    std::shared_ptr<const PartitionResult> result);
+
   mutable std::mutex mu_;
   int64_t capacity_;
   std::list<std::string> lru_;  // front = most recently used
   std::map<std::string, Entry> entries_;
+  std::map<std::string, std::shared_ptr<Inflight>> inflight_;
   int64_t hits_ = 0;
   int64_t misses_ = 0;
+  int64_t joins_ = 0;
 };
 
 /**
@@ -86,15 +123,19 @@ std::string PartitionCacheKey(uint64_t trace_fingerprint,
 
 /**
  * Deep copy of a partition result: re-clones the device-local module and
- * rebuilds its collective plan, so the copy is independently mutable.
- * Per-tactic loop-form captures are immutable and shared.
+ * rebuilds its collective plan, and re-clones every stage snapshot module
+ * (preserving the aliasing structure within the snapshot list — e.g. the
+ * final loop form aliasing the last tactic's capture), so the copy is fully
+ * self-contained: Print(Stage) on a cache-hit executable can never observe
+ * another executable's (or the cache entry's) modules.
  */
 PartitionResult ClonePartitionResult(const PartitionResult& result);
 
 /**
  * Runs a partition request through `cache`: a hit returns a clone of the
  * cached result; a miss runs PartirJitOrError on a fresh context over
- * `traced` and populates the cache. Pipeline errors are not cached.
+ * `traced` and populates the cache (single-flight: concurrent misses on the
+ * same key run the pipeline once). Pipeline errors are not cached.
  */
 StatusOr<PartitionResult> PartitionThroughCache(
     PartitionCache& cache, uint64_t trace_fingerprint, Func* traced,

@@ -19,6 +19,15 @@ Program Program::Capture(const std::function<Func*(Module&)>& build) {
   return captured;
 }
 
+Program Program::Capture(const std::function<Func*(Module&, int64_t)>& build,
+                         int64_t batch) {
+  PARTIR_CHECK(batch >= 1) << "Program::Capture: batch must be >= 1";
+  Program captured =
+      Capture([&](Module& module) { return build(module, batch); });
+  captured.batch_builder_ = build;
+  return captured;
+}
+
 Value* Program::AddInput(TensorType type, const std::string& name) {
   PARTIR_CHECK(!sealed()) << "Program::AddInput after Return()";
   return func_->body().AddArg(std::move(type), name);

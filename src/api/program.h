@@ -34,6 +34,9 @@
 
 namespace partir {
 
+class Batcher;
+struct BatchOptions;
+
 /** A traced program plus the typed building surface (wraps Module +
  *  OpBuilder); partitionable any number of times. */
 class Program {
@@ -52,6 +55,19 @@ class Program {
    *   });
    */
   static Program Capture(const std::function<Func*(Module&)>& build);
+
+  /**
+   * Batch-parameterized capture: the callback receives the batch count and
+   * must build the trace for that many stacked unit requests (typically by
+   * scaling its config's batch field). The program itself is traced at
+   * `batch`; the stored callback is what makes the program *servable* —
+   * Program::Serve re-traces it per coalesced batch size, with
+   * `build(module, 1)` defining the unit request every Submit must match.
+   * The callback must be pure (no shared mutable state): the serving
+   * batcher invokes it from worker threads.
+   */
+  static Program Capture(const std::function<Func*(Module&, int64_t)>& build,
+                         int64_t batch);
 
   // ---- Building ----
 
@@ -83,9 +99,39 @@ class Program {
                                  const Mesh& mesh,
                                  const PartitionOptions& options = {});
 
+  // ---- Serving ----
+
+  /**
+   * Stands up a serving batcher in front of this program: callers Submit
+   * unit-request inputs and receive future-returning responses; the batcher
+   * coalesces same-shape requests into batches (BatchOptions), compiles a
+   * per-batch-size executable through this program's partition cache, and
+   * de-stacks per-request outputs. Requires the program to have been
+   * captured with the batch-parameterized Capture overload. The batcher is
+   * heap-allocated because it owns threads. Defined in src/serve/batcher.cc.
+   */
+  StatusOr<std::unique_ptr<Batcher>> Serve(
+      const std::vector<Tactic>& schedule, const Mesh& mesh,
+      const BatchOptions& batch_options,
+      const PartitionOptions& options = {}) const;
+
   /** Hit/miss counters of the partition cache (shared with every
    *  Executable partitioned from this program). */
   PartitionCacheStats cache_stats() const { return cache_->stats(); }
+
+  /**
+   * Replaces this program's partition cache with a shared one, so several
+   * programs (e.g. the per-batch-size traces a serving batcher builds from
+   * one model) warm up and hit one memoization pool. Call before the first
+   * Partition; existing Executables keep the cache they were built with.
+   */
+  void SharePartitionCache(std::shared_ptr<PartitionCache> cache) {
+    PARTIR_CHECK(cache != nullptr) << "SharePartitionCache: null cache";
+    cache_ = std::move(cache);
+  }
+  const std::shared_ptr<PartitionCache>& partition_cache() const {
+    return cache_;
+  }
 
   /** Structural fingerprint of the traced program — the trace component
    *  of the partition-cache key. Computed fresh on every call (it walks
@@ -131,6 +177,9 @@ class Program {
   OpBuilder builder_;
   // Partition memoization, shared with executables so Respecialize hits it.
   std::shared_ptr<PartitionCache> cache_ = std::make_shared<PartitionCache>();
+  // Batch-parameterized builder (batch-aware Capture overload); what makes
+  // the program servable. Null for imperatively built programs.
+  std::function<Func*(Module&, int64_t)> batch_builder_;
 };
 
 }  // namespace partir

@@ -1,0 +1,160 @@
+#include "src/models/serving.h"
+
+#include "src/models/schedules.h"
+#include "src/models/transformer.h"
+#include "src/spmd/batching.h"
+
+namespace partir {
+namespace serving {
+
+ServeWorkload MatMulChainWorkload() {
+  ServeWorkload workload;
+  workload.name = "matmul_chain";
+  workload.build = [](Module& module, int64_t batch) {
+    Func* func = module.AddFunc("matmul_chain");
+    Block& body = func->body();
+    Value* x = body.AddArg(TensorType({batch * 4, 8}), "x");
+    Value* w1 = body.AddArg(TensorType({8, 16}), "w1");
+    Value* w2 = body.AddArg(TensorType({16, 8}), "w2");
+    OpBuilder builder(&body);
+    builder.Return({builder.MatMul(builder.MatMul(x, w1), w2)});
+    return func;
+  };
+  workload.schedule = {ManualPartition{"BP", {{"x", 0}}, "B"},
+                       ManualPartition{"MP", {{"w1", 1}}, "M"}};
+  workload.mesh = Mesh({{"B", 4}, {"M", 2}});
+  return workload;
+}
+
+ServeWorkload MlpWorkload() {
+  ServeWorkload workload;
+  workload.name = "mlp";
+  workload.build = [](Module& module, int64_t batch) {
+    Func* func = module.AddFunc("mlp");
+    Block& body = func->body();
+    Value* x = body.AddArg(TensorType({batch * 8, 16}), "x");
+    Value* w1 = body.AddArg(TensorType({16, 32}), "w1");
+    Value* b1 = body.AddArg(TensorType({32}), "b1");
+    Value* w2 = body.AddArg(TensorType({32, 8}), "w2");
+    OpBuilder builder(&body);
+    Value* hidden = builder.Tanh(
+        builder.Add(builder.MatMul(x, w1),
+                    builder.BroadcastTo(b1, {batch * 8, 32})));
+    builder.Return({builder.MatMul(hidden, w2)});
+    return func;
+  };
+  workload.schedule = {ManualPartition{"BP", {{"x", 0}}, "B"},
+                       ManualPartition{"MP", {{"w1", 1}, {"b1", 0}}, "M"}};
+  workload.mesh = Mesh({{"B", 2}, {"M", 2}});
+  return workload;
+}
+
+ServeWorkload AttentionWorkload() {
+  ServeWorkload workload;
+  workload.name = "attention";
+  workload.build = [](Module& module, int64_t batch) {
+    const int64_t heads = 2, seq = 4, head_dim = 8;
+    Func* func = module.AddFunc("attention");
+    Block& body = func->body();
+    Value* q = body.AddArg(TensorType({batch, heads, seq, head_dim}), "q");
+    Value* k = body.AddArg(TensorType({batch, heads, seq, head_dim}), "k");
+    Value* v = body.AddArg(TensorType({batch, heads, seq, head_dim}), "v");
+    OpBuilder builder(&body);
+    // scores[b,h,s,s'] = q . k over head_dim, batched over (b, h).
+    Value* scores = builder.Dot(q, k, /*lhs_contract=*/{3},
+                                /*rhs_contract=*/{3}, /*lhs_batch=*/{0, 1},
+                                /*rhs_batch=*/{0, 1});
+    Value* weights = builder.Softmax(builder.MulScalar(scores, 0.35));
+    // out[b,h,s,d] = weights . v over s', batched over (b, h).
+    Value* out = builder.Dot(weights, v, /*lhs_contract=*/{3},
+                             /*rhs_contract=*/{2}, /*lhs_batch=*/{0, 1},
+                             /*rhs_batch=*/{0, 1});
+    builder.Return({out});
+    return func;
+  };
+  // Unit batch 1 over a size-2 axis: odd coalesced sizes cannot shard dim
+  // 0 and exercise the batcher's unpartitioned fallback.
+  workload.schedule = {
+      ManualPartition{"BP", {{"q", 0}, {"k", 0}, {"v", 0}}, "B"}};
+  workload.mesh = Mesh({{"B", 2}});
+  return workload;
+}
+
+ServeWorkload ConvNetWorkload() {
+  ServeWorkload workload;
+  workload.name = "convnet";
+  workload.build = [](Module& module, int64_t batch) {
+    Func* func = module.AddFunc("convnet");
+    Block& body = func->body();
+    Value* image = body.AddArg(TensorType({batch * 2, 4, 4, 4}), "image");
+    Value* f1 = body.AddArg(TensorType({3, 3, 4, 8}), "f1");
+    Value* f2 = body.AddArg(TensorType({3, 3, 8, 4}), "f2");
+    OpBuilder builder(&body);
+    Value* hidden = builder.Tanh(builder.Convolution(image, f1));
+    builder.Return({builder.Convolution(hidden, f2)});
+    return func;
+  };
+  workload.schedule = {ManualPartition{"BP", {{"image", 0}}, "B"}};
+  workload.mesh = Mesh({{"B", 2}});
+  return workload;
+}
+
+ServeWorkload TransformerInferWorkload() {
+  ServeWorkload workload;
+  workload.name = "transformer_infer";
+  TransformerConfig config;
+  config.num_layers = 2;
+  config.d_model = 32;
+  config.num_heads = 4;
+  config.head_dim = 8;
+  config.ffw_size = 64;
+  config.vocab = 64;
+  config.batch = 2;  // per unit request
+  config.seq = 4;
+  workload.build = [config](Module& module, int64_t batch) {
+    TransformerConfig scaled = config;
+    scaled.batch = config.batch * batch;
+    return BuildTransformerInference(module, scaled, /*decode_steps=*/2);
+  };
+  workload.schedule = {schedules::InferenceBP("batch"),
+                       schedules::TransformerMP("model")};
+  workload.mesh = Mesh({{"batch", 2}, {"model", 2}});
+  workload.index_modulus = static_cast<float>(config.vocab);
+  return workload;
+}
+
+std::vector<ServeWorkload> AllServeWorkloads() {
+  return {MatMulChainWorkload(), MlpWorkload(), AttentionWorkload(),
+          ConvNetWorkload(), TransformerInferWorkload()};
+}
+
+WorkloadHarness::WorkloadHarness(const ServeWorkload& workload)
+    : unit_(Program::Capture(workload.build, 1)) {
+  // Derive the per-request inputs from shape evidence at batch 2 — the
+  // same rule the batcher applies.
+  Program doubled = Program::Capture(workload.build, 2);
+  PARTIR_CHECK(doubled.num_inputs() == unit_.num_inputs())
+      << "workload '" << workload.name << "' changes arity with batch";
+  for (int i = 0; i < unit_.num_inputs(); ++i) {
+    StatusOr<BatchDimKind> kind =
+        ClassifyBatchDims(unit_.input(i)->tensor_type().dims(),
+                          doubled.input(i)->tensor_type().dims(), 2);
+    PARTIR_CHECK(kind.ok()) << "workload '" << workload.name << "' input "
+                            << i << ": " << kind.status().message();
+    if (kind.value() == BatchDimKind::kBatched) batched_inputs_.push_back(i);
+  }
+  shared_ = unit_.RandomInputs(/*seed=*/0, workload.index_modulus);
+  modulus_ = workload.index_modulus;
+}
+
+std::vector<Tensor> WorkloadHarness::Request(uint64_t seed) const {
+  std::vector<Tensor> inputs = shared_;
+  // Re-randomize exactly the per-request inputs (through the signature-
+  // aware generator, so integer-typed inputs stay valid indices).
+  std::vector<Tensor> varied = unit_.RandomInputs(seed, modulus_);
+  for (int i : batched_inputs_) inputs[i] = std::move(varied[i]);
+  return inputs;
+}
+
+}  // namespace serving
+}  // namespace partir

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The serving model zoo: batch-parameterized workloads for the serving
+ * batcher (src/serve/), mirroring the repo's five example programs on the
+ * inference side — the quickstart matmul chain, an MLP, a multi-head
+ * attention block, a U-Net-style convolution stack, and the transformer
+ * decode program. Each workload's builder takes the number of coalesced
+ * unit requests and scales its batch dim, which is exactly the
+ * Program::Capture(builder, batch) / Batcher::TraceFactory contract; every
+ * workload is batch-parallel (outputs carry the batch axis), so stacked
+ * batched execution is bit-identical to per-request execution under the
+ * deterministic runtime. Shared by the serve tests and the serving bench.
+ */
+#ifndef PARTIR_MODELS_SERVING_H_
+#define PARTIR_MODELS_SERVING_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/api/partir.h"
+
+namespace partir {
+namespace serving {
+
+/** One servable workload: a batch-parameterized trace plus the serving
+ *  schedule and mesh it is deployed with. */
+struct ServeWorkload {
+  std::string name;
+  /** Builds the trace for `batch` coalesced unit requests (unit = 1). */
+  std::function<Func*(Module&, int64_t)> build;
+  std::vector<Tactic> schedule;
+  Mesh mesh;
+  /** Modulus for integer-typed inputs when generating random requests
+   *  (gather indices must stay in range); 0 when there are none. */
+  float index_modulus = 0.0f;
+};
+
+/** The quickstart matmul chain (the serving bench's subject). */
+ServeWorkload MatMulChainWorkload();
+/** Two-layer tanh MLP with a bias. */
+ServeWorkload MlpWorkload();
+/** Multi-head attention block with explicit head dims (unit batch 1, so
+ *  odd batch sizes exercise the unpartitioned fallback). */
+ServeWorkload AttentionWorkload();
+/** U-Net-style NHWC convolution stack. */
+ServeWorkload ConvNetWorkload();
+/** Transformer prompt-encode + autoregressive decode (tiny config). */
+ServeWorkload TransformerInferWorkload();
+
+/** All five serving workloads, in the order above. */
+std::vector<ServeWorkload> AllServeWorkloads();
+
+/**
+ * Test/bench harness around one workload: the unit trace, which of its
+ * inputs are per-request (batch-scaled, derived from shape evidence at
+ * batch 2 — the same rule the batcher applies), and request generation
+ * that varies exactly the per-request inputs while every request shares
+ * the base (seed 0) weights, as the shape-class contract requires.
+ */
+class WorkloadHarness {
+ public:
+  explicit WorkloadHarness(const ServeWorkload& workload);
+
+  Program& unit() { return unit_; }
+  const std::vector<int>& batched_inputs() const { return batched_inputs_; }
+
+  /** Unit-request inputs: shared weights + per-`seed` batched inputs. */
+  std::vector<Tensor> Request(uint64_t seed) const;
+
+ private:
+  Program unit_;
+  std::vector<int> batched_inputs_;
+  std::vector<Tensor> shared_;
+  float modulus_ = 0.0f;
+};
+
+}  // namespace serving
+}  // namespace partir
+
+#endif  // PARTIR_MODELS_SERVING_H_

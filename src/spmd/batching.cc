@@ -1,0 +1,78 @@
+#include "src/spmd/batching.h"
+
+#include <algorithm>
+
+namespace partir {
+
+StatusOr<BatchDimKind> ClassifyBatchDims(const std::vector<int64_t>& unit,
+                                         const std::vector<int64_t>& scaled,
+                                         int64_t k) {
+  if (unit == scaled) return BatchDimKind::kShared;
+  if (unit.size() != scaled.size() || unit.empty()) {
+    return InvalidArgumentError(
+        "batch scaling changed the rank: unit shape [", StrJoin(unit, ","),
+        "] vs batch-", k, " shape [", StrJoin(scaled, ","), "]");
+  }
+  for (size_t dim = 1; dim < unit.size(); ++dim) {
+    if (unit[dim] != scaled[dim]) {
+      return InvalidArgumentError(
+          "batch scaling changed non-batch dim ", dim, ": unit shape [",
+          StrJoin(unit, ","), "] vs batch-", k, " shape [",
+          StrJoin(scaled, ","), "]; only dim 0 may scale with the batch");
+    }
+  }
+  if (scaled[0] != unit[0] * k) {
+    return InvalidArgumentError(
+        "batch dim scaled by ", scaled[0], "/", unit[0],
+        " instead of the batch count ", k, " (unit shape [",
+        StrJoin(unit, ","), "], batch-", k, " shape [", StrJoin(scaled, ","),
+        "])");
+  }
+  return BatchDimKind::kBatched;
+}
+
+StatusOr<Tensor> StackBatch(const std::vector<const Tensor*>& parts) {
+  if (parts.empty()) return InvalidArgumentError("cannot stack an empty batch");
+  const std::vector<int64_t>& dims = parts[0]->dims();
+  if (dims.empty()) {
+    return InvalidArgumentError("cannot stack rank-0 tensors on a batch axis");
+  }
+  for (size_t i = 1; i < parts.size(); ++i) {
+    if (parts[i]->dims() != dims) {
+      return InvalidArgumentError(
+          "request ", i, " has shape [", StrJoin(parts[i]->dims(), ","),
+          "] but its batch expects [", StrJoin(dims, ","),
+          "]; a batch coalesces same-shape requests only");
+    }
+  }
+  std::vector<int64_t> stacked_dims = dims;
+  stacked_dims[0] = dims[0] * static_cast<int64_t>(parts.size());
+  Tensor stacked(stacked_dims);
+  int64_t offset = 0;
+  for (const Tensor* part : parts) {
+    std::copy(part->data().begin(), part->data().end(),
+              stacked.data().begin() + offset);
+    offset += part->size();
+  }
+  return stacked;
+}
+
+StatusOr<std::vector<Tensor>> UnstackBatch(const Tensor& stacked,
+                                           int64_t parts) {
+  if (parts <= 0) {
+    return InvalidArgumentError("cannot unstack into ", parts, " parts");
+  }
+  if (stacked.rank() == 0 || stacked.dim(0) % parts != 0) {
+    return InvalidArgumentError(
+        "batched output of shape [", StrJoin(stacked.dims(), ","),
+        "] does not split into ", parts, " equal slices along dim 0");
+  }
+  std::vector<Tensor> out;
+  out.reserve(parts);
+  for (int64_t part = 0; part < parts; ++part) {
+    out.push_back(stacked.SliceChunk(/*dim=*/0, part, parts));
+  }
+  return out;
+}
+
+}  // namespace partir

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Batch-axis stacking helpers for the serving layer: coalescing k
+ * same-shape requests into one batched Run means concatenating their
+ * batched inputs along dim 0 (the batch axis), and splitting the batched
+ * outputs back into k per-request slices. Which arguments actually carry
+ * the batch axis is decided by shape evidence — comparing the unit-trace
+ * signature against the k-stacked trace's — so the batcher never guesses:
+ * an argument is batched iff the factory scaled exactly its dim 0 by k.
+ */
+#ifndef PARTIR_SPMD_BATCHING_H_
+#define PARTIR_SPMD_BATCHING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/interp/tensor.h"
+#include "src/support/status.h"
+
+namespace partir {
+
+/**
+ * Classifies `scaled` relative to `unit` for a k-fold batch:
+ *   kShared   identical dims — the value does not carry the batch axis
+ *             (weights, tables); every request must supply the same tensor.
+ *   kBatched  dim 0 scaled by exactly k, all other dims equal — requests
+ *             stack along dim 0.
+ * Any other relation is a typed error naming the offending dims (a trace
+ * factory that reshapes incompatibly across batch sizes cannot be served).
+ */
+enum class BatchDimKind { kShared, kBatched };
+
+StatusOr<BatchDimKind> ClassifyBatchDims(const std::vector<int64_t>& unit,
+                                         const std::vector<int64_t>& scaled,
+                                         int64_t k);
+
+/**
+ * Concatenates per-request tensors along dim 0. All parts must have
+ * identical dims (same shape class); checked, returns a typed error.
+ */
+StatusOr<Tensor> StackBatch(const std::vector<const Tensor*>& parts);
+
+/**
+ * Splits a batched tensor into `parts` equal slices along dim 0 (the
+ * inverse of StackBatch for same-shape requests). Errors when dim 0 does
+ * not divide evenly.
+ */
+StatusOr<std::vector<Tensor>> UnstackBatch(const Tensor& stacked,
+                                           int64_t parts);
+
+}  // namespace partir
+
+#endif  // PARTIR_SPMD_BATCHING_H_

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Bounded multi-producer/multi-consumer queue and a counting latch — the
+ * concurrency primitives the serving layer (src/serve/) is built from. Both
+ * are deliberately simple mutex+condvar implementations: the simulated
+ * runtime is the bottleneck, not queue throughput, and simple primitives
+ * keep the TSan-checked surface small.
+ */
+#ifndef PARTIR_SUPPORT_MPMC_QUEUE_H_
+#define PARTIR_SUPPORT_MPMC_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "src/support/check.h"
+
+namespace partir {
+
+/**
+ * Bounded blocking MPMC queue. Push blocks while the queue is full
+ * (backpressure), Pop blocks while it is empty. Close() stops producers
+ * immediately but lets consumers drain what is already queued: after it,
+ * Push returns false and Pop returns the remaining items, then nullopt —
+ * the shutdown-drains-cleanly contract the serving batcher relies on.
+ */
+template <typename T>
+class BoundedMpmcQueue {
+ public:
+  explicit BoundedMpmcQueue(int64_t capacity) : capacity_(capacity) {
+    PARTIR_CHECK(capacity > 0) << "queue capacity must be positive";
+  }
+
+  /**
+   * Blocks until there is room (or the queue closes); false once closed.
+   * `item` is moved from only on success — a refused item (closed queue)
+   * stays with the caller, so payloads carrying obligations (promises to
+   * resolve) are never silently dropped.
+   */
+  bool Push(T& item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] {
+      return closed_ || static_cast<int64_t>(items_.size()) < capacity_;
+    });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /** Non-blocking Push; false (item untouched) when full or closed. */
+  bool TryPush(T& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || static_cast<int64_t>(items_.size()) >= capacity_) {
+        return false;
+      }
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /** Blocks until an item arrives; nullopt once closed and drained. */
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    return PopLocked(lock);
+  }
+
+  /**
+   * Blocks up to `timeout`; nullopt on timeout or once closed and drained
+   * (use closed() to tell the two apart).
+   */
+  template <typename Rep, typename Period>
+  std::optional<T> PopFor(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait_for(lock, timeout,
+                        [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    return PopLocked(lock);
+  }
+
+  /** Stops producers; consumers drain the remaining items. Idempotent. */
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  int64_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int64_t>(items_.size());
+  }
+
+ private:
+  std::optional<T> PopLocked(std::unique_lock<std::mutex>& lock) {
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  const int64_t capacity_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+/**
+ * Single-use countdown latch (C++17 stand-in for std::latch): Wait blocks
+ * until CountDown has been called `count` times. Used to release a fleet of
+ * producer threads simultaneously in the stress tests and benches, and to
+ * await in-flight work during Batcher shutdown.
+ */
+class Latch {
+ public:
+  explicit Latch(int64_t count) : count_(count) {
+    PARTIR_CHECK(count >= 0) << "latch count must be non-negative";
+  }
+
+  void CountDown() {
+    std::lock_guard<std::mutex> lock(mu_);
+    PARTIR_CHECK(count_ > 0) << "latch counted down below zero";
+    if (--count_ == 0) cv_.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return count_ == 0; });
+  }
+
+  /** True once the count reached zero (non-blocking). */
+  bool Done() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_ == 0;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int64_t count_;
+};
+
+}  // namespace partir
+
+#endif  // PARTIR_SUPPORT_MPMC_QUEUE_H_

@@ -30,6 +30,8 @@ enum class StatusCode {
   kFailedPrecondition,  // valid request, wrong state (unsealed program, ...)
   kInternal,            // invariant violation surfaced as an error
   kUnimplemented,
+  kDeadlineExceeded,    // a serving request expired before it was dispatched
+  kUnavailable,         // the serving endpoint is shut down / not accepting
 };
 
 /** Printable name of a status code ("INVALID_ARGUMENT", ...). */
@@ -41,6 +43,8 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }
@@ -93,6 +97,14 @@ Status InternalError(const Args&... args) {
 template <typename... Args>
 Status UnimplementedError(const Args&... args) {
   return Status(StatusCode::kUnimplemented, StrCat(args...));
+}
+template <typename... Args>
+Status DeadlineExceededError(const Args&... args) {
+  return Status(StatusCode::kDeadlineExceeded, StrCat(args...));
+}
+template <typename... Args>
+Status UnavailableError(const Args&... args) {
+  return Status(StatusCode::kUnavailable, StrCat(args...));
 }
 
 /**

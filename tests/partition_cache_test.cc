@@ -1,11 +1,17 @@
 // Tests for the Program partition cache: trace fingerprinting, hit/miss
 // keying on (trace, schedule, mesh, options), Respecialize sharing the
-// cache, and isolation of the cloned executables a hit hands out.
+// cache, isolation of the cloned executables a hit hands out, and
+// single-flight coalescing of concurrent misses on one key.
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
 
 #include "src/api/partir.h"
 #include "src/api/partition_cache.h"
 #include "src/ir/fingerprint.h"
+#include "src/support/mpmc_queue.h"
 
 namespace partir {
 namespace {
@@ -235,6 +241,126 @@ TEST(PartitionCacheTest, UseCacheOffBypassesTheCache) {
   std::vector<Tensor> got = second.Run(inputs).value();
   for (size_t i = 0; i < want.size(); ++i) {
     EXPECT_EQ(want[i].data(), got[i].data());
+  }
+}
+
+TEST(PartitionCacheTest, ConcurrentMissStormRunsThePipelineOnce) {
+  // Two threads racing to compile the same key: the first becomes the
+  // leader and runs `compute`; the second joins the in-flight computation
+  // and waits instead of computing again — one run, one entry.
+  PartitionCache cache;
+  std::atomic<int> compute_runs{0};
+  Latch leader_entered(1);
+  Latch release_leader(1);
+  auto compute = [&]() -> StatusOr<PartitionResult> {
+    ++compute_runs;
+    leader_entered.CountDown();
+    release_leader.Wait();
+    return PartitionResult();
+  };
+
+  std::shared_ptr<const PartitionResult> leader_result;
+  std::thread leader([&] {
+    leader_result = cache.GetOrCompute("key", compute).value();
+  });
+  leader_entered.Wait();  // the leader is inside compute
+  std::shared_ptr<const PartitionResult> follower_result;
+  std::thread follower([&] {
+    follower_result = cache.GetOrCompute("key", compute).value();
+  });
+  // Give the follower time to reach the join path, then let the leader
+  // finish (a late follower would just hit the completed entry — still one
+  // pipeline run either way).
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  release_leader.CountDown();
+  leader.join();
+  follower.join();
+
+  EXPECT_EQ(compute_runs, 1);
+  EXPECT_EQ(leader_result.get(), follower_result.get());
+  PartitionCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.entries, 1);
+}
+
+TEST(PartitionCacheTest, FollowersOfAFailedLeaderGetItsErrorUncached) {
+  PartitionCache cache;
+  std::atomic<int> compute_runs{0};
+  Latch leader_entered(1);
+  Latch release_leader(1);
+  std::atomic<bool> first_run{true};
+  auto failing = [&]() -> StatusOr<PartitionResult> {
+    ++compute_runs;
+    // Only the first run drives the latches: a follower that arrives after
+    // the (uncached) failure legitimately becomes a second leader.
+    if (first_run.exchange(false)) {
+      leader_entered.CountDown();
+      release_leader.Wait();
+    }
+    return InternalError("pipeline exploded");
+  };
+  Status leader_status = Status::Ok();
+  Status follower_status = Status::Ok();
+  std::thread leader([&] {
+    leader_status = cache.GetOrCompute("key", failing).status();
+  });
+  leader_entered.Wait();
+  std::thread follower([&] {
+    follower_status = cache.GetOrCompute("key", failing).status();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  release_leader.CountDown();
+  leader.join();
+  follower.join();
+
+  EXPECT_EQ(leader_status.code(), StatusCode::kInternal);
+  EXPECT_EQ(follower_status.code(), StatusCode::kInternal);
+  EXPECT_LE(compute_runs, 2);  // never more than one run per caller
+  EXPECT_EQ(cache.stats().entries, 0);  // errors are not cached
+
+  // The storm is over; the next call retries fresh and can succeed.
+  auto recovered = [&]() -> StatusOr<PartitionResult> {
+    return PartitionResult();
+  };
+  EXPECT_TRUE(cache.GetOrCompute("key", recovered).ok());
+  EXPECT_EQ(cache.stats().entries, 1);
+}
+
+TEST(PartitionCacheTest, FacadeMissStormYieldsOnePipelineRunAndOneEntry) {
+  // The serving regime: many workers racing Program::Partition with the
+  // identical request. Exactly one pipeline run (one miss); everyone else
+  // hits — either by joining the in-flight run or by arriving after it.
+  Program program = MakeChain();
+  Mesh mesh({{"B", 4}, {"M", 2}});
+  const int kThreads = 6;
+  std::vector<std::thread> threads;
+  std::vector<StatusOr<Executable>> results;
+  results.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    results.emplace_back(InternalError("not run"));
+  }
+  Latch start(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      start.CountDown();
+      start.Wait();
+      results[t] = program.Partition(BpSchedule(), mesh);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  PartitionCacheStats stats = program.cache_stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, kThreads - 1);
+  EXPECT_EQ(stats.entries, 1);
+
+  std::vector<Tensor> inputs = program.RandomInputs(5);
+  std::vector<Tensor> want = program.Evaluate(inputs).value();
+  for (StatusOr<Executable>& result : results) {
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    std::vector<Tensor> got = result->Run(inputs).value();
+    EXPECT_LT(Tensor::MaxAbsDiff(want[0], got[0]), 1e-3f);
   }
 }
 

@@ -303,6 +303,55 @@ TEST(SnapshotTest, CapturesEveryTacticPrefixAndFinalForms) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(SnapshotTest, CacheHitClonesSnapshotsAndServesFreshStages) {
+  // Regression: a cache hit used to clone the spmd module but share the
+  // stage-snapshot modules with the cached entry (and so with every
+  // sibling executable). A hit's Print(Stage) must serve the same content
+  // from fully self-contained snapshots — including after respecializing
+  // away and back — with the intra-result aliasing structure preserved.
+  Program program("snap_hit");
+  Value* x = program.AddInput(TensorType({16, 8}), "x");
+  Value* w1 = program.AddInput(TensorType({8, 12}), "w1");
+  Value* w2 = program.AddInput(TensorType({12, 8}), "w2");
+  OpBuilder& builder = program.builder();
+  program.Return({builder.MatMul(builder.MatMul(x, w1), w2)});
+  Mesh mesh({{"B", 4}, {"M", 2}});
+  std::vector<Tactic> bp_mp = {ManualPartition{"BP", {{"x", 0}}, "B"},
+                               ManualPartition{"MP", {{"w1", 1}}, "M"}};
+  std::vector<Tactic> wp = {ManualPartition{"WP", {{"w2", 1}}, "M"}};
+  PartitionOptions options;
+  options.capture_stages = true;
+
+  Executable miss = program.Partition(bp_mp, mesh, options).value();
+  std::string after_bp = miss.Print(Stage::AfterTactic(0)).value();
+  std::string loops = miss.Print(Stage::Loops()).value();
+
+  Executable hit = program.Partition(bp_mp, mesh, options).value();
+  EXPECT_EQ(program.cache_stats().hits, 1);
+  ASSERT_EQ(hit.snapshots().size(), miss.snapshots().size());
+  // Same content...
+  EXPECT_EQ(hit.Print(Stage::AfterTactic(0)).value(), after_bp);
+  EXPECT_EQ(hit.Print(Stage::Loops()).value(), loops);
+  // ...from cloned modules, not the cached entry's (no sharing between
+  // executables, just like the spmd module itself).
+  for (size_t i = 0; i < hit.snapshots().size(); ++i) {
+    EXPECT_NE(hit.snapshots()[i].module.get(),
+              miss.snapshots()[i].module.get());
+  }
+  // The final loop form still aliases the last tactic's capture inside
+  // each executable (the clone maps aliases to one shared clone).
+  ASSERT_EQ(hit.snapshots().size(), 3u);
+  EXPECT_EQ(hit.snapshots()[2].module.get(), hit.snapshots()[1].module.get());
+
+  // Respecialize away and back: the second hit's stages are not stale
+  // either — identical to the original miss's renderings.
+  Executable other = hit.Respecialize(wp).value();
+  EXPECT_NE(other.Print(Stage::AfterTactic(0)).value(), after_bp);
+  Executable back = other.Respecialize(bp_mp).value();
+  EXPECT_EQ(back.Print(Stage::AfterTactic(0)).value(), after_bp);
+  EXPECT_EQ(back.Print(Stage::Loops()).value(), loops);
+}
+
 TEST(SnapshotTest, StModeCapturesAndVerifiesFinalLoopForm) {
   // PartIR-st (incremental=false): the final loop form is materialized by
   // MaterializeLoopsPass after the single deferred propagation, and the
