@@ -39,6 +39,16 @@ SimEstimate Executable::Estimate(const DeviceSpec& device) const {
   return EstimateSpmd(result_.spmd, device);
 }
 
+StatusOr<exec::MemoryStats> Executable::memory_stats() const {
+  std::shared_ptr<const exec::DeviceProgram> program =
+      result_.spmd.exec_program;
+  if (program == nullptr) {
+    PARTIR_ASSIGN_OR_RETURN(program,
+                            exec::CompileDeviceProgram(result_.spmd));
+  }
+  return exec::ComputeMemoryStats(result_.spmd, *program);
+}
+
 StatusOr<std::string> Executable::Print(Stage stage) const {
   // Every intermediate form is served from the pass manager's stage
   // snapshots; only the endpoints (the traced source, the live device-local

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "src/exec/device_program.h"
 #include "src/interp/tensor.h"
 #include "src/schedule/schedule.h"
 #include "src/spmd/spmd_interpreter.h"
@@ -82,6 +83,15 @@ class Executable {
   const SimEstimate& Estimate() const { return result_.estimate; }
   /** Re-estimates the lowered program on a different device spec. */
   SimEstimate Estimate(const DeviceSpec& device) const;
+
+  /**
+   * Memory-planner statistics of the compiled device program: per-device
+   * peak arena bytes (what one simulated device must hold), liveness peak,
+   * slot-reuse and in-place counts, and the fresh-tensor-per-op baseline
+   * for comparison. Compiles a program ad hoc when the pipeline's one was
+   * invalidated; errors when the module cannot be compiled.
+   */
+  StatusOr<exec::MemoryStats> memory_stats() const;
 
   // ---- Inspection ----
 

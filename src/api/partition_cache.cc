@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "src/exec/device_program.h"
 #include "src/ir/passes.h"
 #include "src/spmd/collectives.h"
 
@@ -188,6 +189,16 @@ PartitionResult ClonePartitionResult(const PartitionResult& result) {
   out.spmd.input_shardings = result.spmd.input_shardings;
   out.spmd.output_shardings = result.spmd.output_shardings;
   out.spmd.plan = BuildCollectivePlan(out.spmd.mesh, *out.spmd.module);
+  if (result.spmd.exec_program != nullptr) {
+    // The compiled program points into the original module's ops, so the
+    // clone recompiles against its own module (and fresh collective plan).
+    StatusOr<std::shared_ptr<const exec::DeviceProgram>> program =
+        exec::CompileDeviceProgram(out.spmd);
+    PARTIR_CHECK(program.ok())
+        << "recompiling a cached device program failed: "
+        << program.status().message();
+    out.spmd.exec_program = std::move(program).value();
+  }
   out.collectives = result.collectives;
   out.estimate = result.estimate;
   out.tactics = result.tactics;

@@ -1,0 +1,144 @@
+#include "src/exec/device_program.h"
+
+#include <utility>
+
+#include "src/interp/interpreter.h"
+#include "src/ir/op_kind.h"
+
+namespace partir {
+namespace exec {
+namespace {
+
+/** Rank-2 dot with no batch dims: lhs[i,k] . rhs[k,j]. */
+bool IsFastDot(const Operation& op) {
+  if (op.kind() != OpKind::kDot) return false;
+  if (op.operand(0)->tensor_type().rank() != 2 ||
+      op.operand(1)->tensor_type().rank() != 2) {
+    return false;
+  }
+  const auto& lc = op.attrs().Get<std::vector<int64_t>>("lhs_contract");
+  const auto& rc = op.attrs().Get<std::vector<int64_t>>("rhs_contract");
+  const auto& lb = op.attrs().Get<std::vector<int64_t>>("lhs_batch");
+  const auto& rb = op.attrs().Get<std::vector<int64_t>>("rhs_batch");
+  return lb.empty() && rb.empty() && lc == std::vector<int64_t>{1} &&
+         rc == std::vector<int64_t>{0};
+}
+
+}  // namespace
+
+StatusOr<std::shared_ptr<const DeviceProgram>> CompileDeviceProgram(
+    const SpmdModule& spmd) {
+  const Func& func = *spmd.main();
+  const Block& body = func.body();
+  if (body.num_ops() == 0 || body.terminator()->kind() != OpKind::kReturn) {
+    return InternalError("SPMD function '", func.name(),
+                         "' has no return terminator");
+  }
+  for (const auto& op : body.ops()) {
+    if (op->num_regions() > 0) {
+      return InvalidArgumentError(
+          "compiled backend requires a flat device-local program; op '",
+          OpKindName(op->kind()), "' in '", func.name(),
+          "' has a nested region (unlowered PartIR:Core?)");
+    }
+    if (op->kind() == OpKind::kPSlice || op->kind() == OpKind::kYield ||
+        op->kind() == OpKind::kLoop) {
+      return InvalidArgumentError(
+          "compiled backend cannot execute PartIR:Core op '",
+          OpKindName(op->kind()), "' in '", func.name(), "'");
+    }
+  }
+
+  auto program = std::make_shared<DeviceProgram>();
+  program->plan = PlanMemory(func);
+  program->collectives =
+      spmd.plan != nullptr ? spmd.plan
+                           : BuildCollectivePlan(spmd.mesh, *spmd.module);
+  const MemoryPlan& plan = program->plan;
+
+  for (int a = 0; a < body.num_args(); ++a) {
+    program->input_slots.push_back(
+        plan.values[plan.IndexOf(body.arg(a))].slot);
+  }
+  for (const Value* operand : body.terminator()->operands()) {
+    program->output_slots.push_back(plan.values[plan.IndexOf(operand)].slot);
+  }
+
+  program->instructions.reserve(plan.num_instructions);
+  for (int i = 0; i < plan.num_instructions; ++i) {
+    const Operation& op = *body.ops()[i];
+    Instruction inst;
+    inst.kind = op.kind();
+    inst.op = &op;
+
+    const ValuePlan& result0 = plan.values[plan.IndexOf(op.result(0))];
+    for (int r = 0; r < op.num_results(); ++r) {
+      inst.result_slots.push_back(
+          plan.values[plan.IndexOf(op.result(r))].slot);
+    }
+    inst.result_dims = op.result(0)->tensor_type().dims();
+    inst.result_numel = result0.numel;
+
+    for (int j = 0; j < op.num_operands(); ++j) {
+      const Value* operand = op.operand(j);
+      const ValuePlan& ovp = plan.values[plan.IndexOf(operand)];
+      inst.operand_slots.push_back(ovp.slot);
+      bool first_occurrence = true;
+      for (int k = 0; k < j; ++k) {
+        if (op.operand(k) == operand) first_occurrence = false;
+      }
+      inst.operand_dies.push_back(ovp.last_use == i && first_occurrence);
+      if (result0.in_place && ovp.slot == result0.slot &&
+          inst.in_place_operand < 0) {
+        inst.in_place_operand = j;
+      }
+    }
+    // The in-place operand's buffer is not reclaimable — it becomes the
+    // result.
+    if (inst.in_place_operand >= 0) {
+      inst.operand_dies[inst.in_place_operand] = false;
+    }
+
+    if (op.num_operands() == 0) {
+      // Constants / iota: materialize the value once at compile time.
+      std::vector<Tensor> baked = EvalOp(op, {});
+      inst.baked = std::make_shared<const Tensor>(std::move(baked[0]));
+    }
+    inst.fast_dot = IsFastDot(op);
+
+    if (IsCollective(op.kind())) {
+      auto it = program->collectives->ops.find(&op);
+      if (it == program->collectives->ops.end()) {
+        return InternalError("collective op '", OpKindName(op.kind()),
+                             "' missing from the collective plan");
+      }
+      inst.collective = &it->second;
+      if (op.kind() != OpKind::kAllSlice) {
+        inst.site_base = program->num_sites;
+        program->num_sites +=
+            static_cast<int64_t>(inst.collective->groups->groups.size());
+      }
+    }
+    program->instructions.push_back(std::move(inst));
+  }
+  return std::shared_ptr<const DeviceProgram>(std::move(program));
+}
+
+MemoryStats ComputeMemoryStats(const SpmdModule& spmd,
+                               const DeviceProgram& program) {
+  const MemoryPlan& plan = program.plan;
+  MemoryStats stats;
+  stats.num_devices = spmd.mesh.NumDevices();
+  stats.values = static_cast<int64_t>(plan.values.size());
+  stats.slots = static_cast<int64_t>(plan.slot_numels.size());
+  stats.peak_arena_bytes = plan.arena_bytes;
+  stats.peak_live_bytes = plan.peak_live_bytes;
+  stats.unplanned_bytes = plan.unplanned_bytes;
+  stats.slots_reused = plan.slots_reused;
+  stats.in_place_ops = plan.in_place_ops;
+  stats.total_arena_bytes = plan.arena_bytes * stats.num_devices;
+  return stats;
+}
+
+}  // namespace exec
+}  // namespace partir

@@ -6,9 +6,8 @@
 #include "src/ir/op_kind.h"
 
 namespace partir {
-namespace {
 
-float ApplyUnary(OpKind kind, float x) {
+float ApplyUnaryOp(OpKind kind, float x) {
   switch (kind) {
     case OpKind::kNeg: return -x;
     case OpKind::kExp: return std::exp(x);
@@ -21,7 +20,7 @@ float ApplyUnary(OpKind kind, float x) {
   }
 }
 
-float ApplyBinary(OpKind kind, float a, float b) {
+float ApplyBinaryOp(OpKind kind, float a, float b) {
   switch (kind) {
     case OpKind::kAdd: return a + b;
     case OpKind::kSub: return a - b;
@@ -33,6 +32,8 @@ float ApplyBinary(OpKind kind, float a, float b) {
     default: PARTIR_UNREACHABLE("not binary");
   }
 }
+
+namespace {
 
 Tensor EvalDot(const Operation& op, const Tensor& lhs, const Tensor& rhs) {
   const auto& lc = op.attrs().Get<std::vector<int64_t>>("lhs_contract");
@@ -323,18 +324,26 @@ class Interpreter {
 
 std::vector<Tensor> EvalOp(const Operation& op,
                            const std::vector<Tensor>& operands) {
+  std::vector<const Tensor*> refs;
+  refs.reserve(operands.size());
+  for (const Tensor& operand : operands) refs.push_back(&operand);
+  return EvalOpRef(op, refs);
+}
+
+std::vector<Tensor> EvalOpRef(const Operation& op,
+                              const std::vector<const Tensor*>& operands) {
   OpKind kind = op.kind();
   if (IsUnaryElementwise(kind)) {
-    Tensor out(operands[0].dims());
+    Tensor out(operands[0]->dims());
     for (int64_t i = 0; i < out.size(); ++i) {
-      out.at(i) = ApplyUnary(kind, operands[0].at(i));
+      out.at(i) = ApplyUnaryOp(kind, operands[0]->at(i));
     }
     return {std::move(out)};
   }
   if (IsBinaryElementwise(kind)) {
-    return {Tensor::Combine(operands[0], operands[1],
+    return {Tensor::Combine(*operands[0], *operands[1],
                             [kind](float a, float b) {
-                              return ApplyBinary(kind, a, b);
+                              return ApplyBinaryOp(kind, a, b);
                             })};
   }
   switch (kind) {
@@ -356,7 +365,7 @@ std::vector<Tensor> EvalOp(const Operation& op,
       return {std::move(out)};
     }
     case OpKind::kDot:
-      return {EvalDot(op, operands[0], operands[1])};
+      return {EvalDot(op, *operands[0], *operands[1])};
     case OpKind::kTranspose: {
       const auto& perm = op.attrs().Get<std::vector<int64_t>>("perm");
       const auto& out_dims = op.result()->tensor_type().dims();
@@ -366,20 +375,23 @@ std::vector<Tensor> EvalOp(const Operation& op,
         for (size_t i = 0; i < perm.size(); ++i) {
           in_index[perm[i]] = out_index[i];
         }
-        out.Set(out_index, operands[0].Get(in_index));
+        out.Set(out_index, operands[0]->Get(in_index));
       });
       return {std::move(out)};
     }
     case OpKind::kReshape:
       return {Tensor(op.result()->tensor_type().dims(),
-                     operands[0].data())};
+                     operands[0]->data())};
     case OpKind::kReduce:
-      return {EvalReduce(op, operands[0])};
+      return {EvalReduce(op, *operands[0])};
     case OpKind::kBroadcastInDim:
-      return {EvalBroadcastInDim(op, operands[0])};
+      return {EvalBroadcastInDim(op, *operands[0])};
     case OpKind::kConcatenate: {
       int64_t dim = op.attrs().Get<int64_t>("dim");
-      return {Tensor::Concat(operands, dim)};
+      std::vector<Tensor> parts;
+      parts.reserve(operands.size());
+      for (const Tensor* operand : operands) parts.push_back(*operand);
+      return {Tensor::Concat(parts, dim)};
     }
     case OpKind::kStaticSlice: {
       const auto& starts = op.attrs().Get<std::vector<int64_t>>("starts");
@@ -388,13 +400,13 @@ std::vector<Tensor> EvalOp(const Operation& op,
       ForEachIndex(out_dims, [&](const std::vector<int64_t>& index) {
         std::vector<int64_t> src = index;
         for (size_t i = 0; i < src.size(); ++i) src[i] += starts[i];
-        out.Set(index, operands[0].Get(src));
+        out.Set(index, operands[0]->Get(src));
       });
       return {std::move(out)};
     }
     case OpKind::kGather: {
-      const Tensor& table = operands[0];
-      const Tensor& indices = operands[1];
+      const Tensor& table = *operands[0];
+      const Tensor& indices = *operands[1];
       const auto& out_dims = op.result()->tensor_type().dims();
       Tensor out(out_dims);
       int64_t row_size = table.size() / table.dim(0);
@@ -409,8 +421,8 @@ std::vector<Tensor> EvalOp(const Operation& op,
     }
     case OpKind::kScatterAdd: {
       // Indices may have any rank; updates extend them with the row shape.
-      const Tensor& indices = operands[0];
-      const Tensor& updates = operands[1];
+      const Tensor& indices = *operands[0];
+      const Tensor& updates = *operands[1];
       Tensor out(op.result()->tensor_type().dims());
       int64_t row_size = out.dim(0) == 0 ? 0 : out.size() / out.dim(0);
       for (int64_t i = 0; i < indices.size(); ++i) {
@@ -423,13 +435,13 @@ std::vector<Tensor> EvalOp(const Operation& op,
       return {std::move(out)};
     }
     case OpKind::kConvolution:
-      return {EvalConvolution(op, operands[0], operands[1])};
+      return {EvalConvolution(op, *operands[0], *operands[1])};
     case OpKind::kConvInputGrad:
-      return {EvalConvInputGrad(op, operands[0], operands[1])};
+      return {EvalConvInputGrad(op, *operands[0], *operands[1])};
     case OpKind::kConvFilterGrad:
-      return {EvalConvFilterGrad(op, operands[0], operands[1])};
+      return {EvalConvFilterGrad(op, *operands[0], *operands[1])};
     case OpKind::kTag:
-      return {operands[0]};
+      return {*operands[0]};
     default:
       PARTIR_UNREACHABLE("unsupported op in reference interpreter: "
                          << OpKindName(kind));

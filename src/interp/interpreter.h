@@ -25,6 +25,21 @@ std::vector<Tensor> EvalOp(const Operation& op,
                            const std::vector<Tensor>& operands);
 
 /**
+ * EvalOp over operand pointers: the same kernels without copying operand
+ * tensors into the call — the compiled executor's generic fallback path.
+ */
+std::vector<Tensor> EvalOpRef(const Operation& op,
+                              const std::vector<const Tensor*>& operands);
+
+/**
+ * Scalar kernels of the unary / binary elementwise ops. Shared by the
+ * reference interpreter and the compiled executor so the two backends stay
+ * bit-identical by construction.
+ */
+float ApplyUnaryOp(OpKind kind, float x);
+float ApplyBinaryOp(OpKind kind, float a, float b);
+
+/**
  * Evaluates `func` on the given positional inputs, returning the values of
  * its return op. Handles array ops and PartIR:Core loop/slice ops; SPMD
  * collectives are rejected (use the SPMD interpreter).

@@ -4,6 +4,8 @@
 
 namespace partir {
 
+std::atomic<int64_t> Tensor::allocations_{0};
+
 Tensor Tensor::SliceChunk(int64_t dim, int64_t chunk, int64_t count) const {
   PARTIR_CHECK(dims_.at(dim) % count == 0) << "chunk count must divide dim";
   PARTIR_CHECK(chunk >= 0 && chunk < count);

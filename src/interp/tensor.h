@@ -8,6 +8,7 @@
 #ifndef PARTIR_INTERP_TENSOR_H_
 #define PARTIR_INTERP_TENSOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <numeric>
@@ -23,7 +24,9 @@ class Tensor {
   Tensor() = default;
   explicit Tensor(std::vector<int64_t> dims, float fill = 0.0f)
       : dims_(std::move(dims)),
-        data_(NumElementsOf(dims_), fill) {}
+        data_(NumElementsOf(dims_), fill) {
+    allocations_.fetch_add(1, std::memory_order_relaxed);
+  }
   Tensor(std::vector<int64_t> dims, std::vector<float> data)
       : dims_(std::move(dims)), data_(std::move(data)) {
     PARTIR_CHECK(static_cast<int64_t>(data_.size()) == NumElementsOf(dims_))
@@ -75,6 +78,16 @@ class Tensor {
     data_[Offset(index)] = value;
   }
 
+  /**
+   * Reinterprets the existing buffer under new dims without reallocating
+   * (element counts must match) — how the compiled executor recycles an
+   * arena buffer for a differently-shaped value of the same size.
+   */
+  void ResetDims(std::vector<int64_t> dims) {
+    PARTIR_CHECK(NumElementsOf(dims) == size()) << "ResetDims size mismatch";
+    dims_ = std::move(dims);
+  }
+
   /** Extracts the `chunk`-th of `count` equal contiguous chunks on `dim`. */
   Tensor SliceChunk(int64_t dim, int64_t chunk, int64_t count) const;
 
@@ -91,7 +104,20 @@ class Tensor {
   /** Max |a-b| over all elements. */
   static float MaxAbsDiff(const Tensor& a, const Tensor& b);
 
+  /**
+   * Process-wide count of fresh-buffer constructions (the shape-filling
+   * constructor above — per-op outputs in the interpreter, first-run arena
+   * sizing in the compiled executor). Moves, copies and in-place buffer
+   * reuse do not count; benches diff this across Run calls to compare the
+   * backends' allocation traffic.
+   */
+  static int64_t allocations() {
+    return allocations_.load(std::memory_order_relaxed);
+  }
+
  private:
+  static std::atomic<int64_t> allocations_;
+
   std::vector<int64_t> dims_;
   std::vector<float> data_;
 };

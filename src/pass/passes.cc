@@ -1,5 +1,6 @@
 #include "src/pass/passes.h"
 
+#include "src/exec/device_program.h"
 #include "src/ir/passes.h"
 #include "src/spmd/collectives.h"
 
@@ -140,6 +141,17 @@ Status PlanCollectivesPass::Run(PipelineState& state) {
   PARTIR_CHECK(state.lowered) << "plan-collectives before lowering";
   state.result.spmd.plan = BuildCollectivePlan(state.result.spmd.mesh,
                                                *state.result.spmd.module);
+  return Status::Ok();
+}
+
+std::string CompileDeviceProgramsPass::name() const {
+  return "compile-device-programs";
+}
+
+Status CompileDeviceProgramsPass::Run(PipelineState& state) {
+  PARTIR_CHECK(state.lowered) << "compile-device-programs before lowering";
+  PARTIR_ASSIGN_OR_RETURN(state.result.spmd.exec_program,
+                          exec::CompileDeviceProgram(state.result.spmd));
   return Status::Ok();
 }
 

@@ -122,6 +122,16 @@ class PlanCollectivesPass : public Pass {
   Status Run(PipelineState& state) override;
 };
 
+/** Compiles the device-local program to the flat instruction stream +
+ *  liveness arena plan the compiled executor runs (src/exec/). Runs after
+ *  plan-collectives (the instructions point into the collective plan);
+ *  like the plan, the program drops on any later module mutation. */
+class CompileDeviceProgramsPass : public Pass {
+ public:
+  std::string name() const override;
+  Status Run(PipelineState& state) override;
+};
+
 }  // namespace partir
 
 #endif  // PARTIR_PASS_PASSES_H_

@@ -53,6 +53,7 @@ void BuildPartitionPipeline(PassManager& manager,
   optimize.push_back(std::make_unique<DcePass>());
   manager.AddFixpoint(std::move(optimize), /*max_iterations=*/8);
   manager.AddPass(std::make_unique<PlanCollectivesPass>());
+  manager.AddPass(std::make_unique<CompileDeviceProgramsPass>());
 }
 
 StatusOr<PartitionResult> RunPartitionPipeline(

@@ -27,6 +27,9 @@
 namespace partir {
 
 struct CollectivePlan;
+namespace exec {
+struct DeviceProgram;
+}
 
 /** Sharding of one function input/output: axes per dimension. */
 struct ValueSharding {
@@ -50,6 +53,15 @@ struct SpmdModule {
    */
   std::shared_ptr<const CollectivePlan> plan;
 
+  /**
+   * The compiled flat instruction stream + arena plan of the device-local
+   * program (src/exec/device_program.h), built by the
+   * compile-device-programs pipeline pass; null until compiled, and
+   * dropped together with `plan` on any mutable access. Null is always
+   * safe: a compiled-backend Run compiles one ad hoc.
+   */
+  std::shared_ptr<const exec::DeviceProgram> exec_program;
+
   Func* main() const { return module->main(); }
 
   /**
@@ -71,7 +83,10 @@ struct SpmdModule {
     InvalidatePlan();
     module = std::move(next);
   }
-  void InvalidatePlan() { plan.reset(); }
+  void InvalidatePlan() {
+    plan.reset();
+    exec_program.reset();
+  }
 };
 
 /**

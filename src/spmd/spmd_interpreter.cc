@@ -2,15 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
-#include <condition_variable>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <utility>
 
+#include "src/exec/device_program.h"
+#include "src/exec/executor.h"
 #include "src/interp/interpreter.h"
 #include "src/spmd/collectives.h"
+#include "src/spmd/rendezvous.h"
 
 namespace partir {
 namespace {
@@ -116,49 +117,8 @@ void RunSequential(const SpmdModule& spmd, const CollectivePlan& plan,
   PARTIR_UNREACHABLE("spmd function has no return");
 }
 
-/** Counting semaphore bounding how many device threads run concurrently. */
-class Semaphore {
- public:
-  explicit Semaphore(int permits) : permits_(permits) {}
-
-  void Acquire() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return permits_ > 0; });
-    --permits_;
-  }
-
-  void Release() {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++permits_;
-    }
-    cv_.notify_one();
-  }
-
- private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  int permits_;
-};
-
-/**
- * Rendezvous state of one replica group of one collective op execution.
- * Every member deposits its contribution; the last arrival evaluates the
- * group (position-ordered, unless arrival-order folding was requested) and
- * wakes the others.
- */
-struct GroupSite {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::vector<Tensor> inputs;   // by group position (deterministic path)
-  std::vector<Tensor> outputs;  // by group position, valid once done
-  Tensor accumulator;           // arrival-order reduction (non-deterministic)
-  int arrived = 0;
-  bool done = false;
-};
-
 /** The async per-device runtime: one thread per device, rendezvous
- *  collectives, and a semaphore throttling concurrency. */
+ *  collectives (rendezvous.h), and a semaphore throttling concurrency. */
 class ThreadedRunner {
  public:
   ThreadedRunner(const SpmdModule& spmd, const CollectivePlan& plan,
@@ -208,53 +168,11 @@ class ThreadedRunner {
       }
       GroupSite& site =
           sites_.at(op.get())[col.groups->group_of[device]];
-      env[op->result()] = Rendezvous(
+      env[op->result()] = RendezvousExchange(
           col, site, col.groups->position_of[device],
-          env.at(op->operand(0)));
+          env.at(op->operand(0)), options_.deterministic, &throttle_);
     }
     throttle_.Release();
-  }
-
-  Tensor Rendezvous(const CollectiveOp& col, GroupSite& site, int64_t position,
-                    Tensor input) {
-    const int64_t n = col.groups->group_size;
-    const bool arrival_fold =
-        !options_.deterministic && (col.kind == OpKind::kAllReduce ||
-                                    col.kind == OpKind::kReduceScatter);
-    std::unique_lock<std::mutex> lock(site.mu);
-    if (arrival_fold) {
-      site.accumulator = site.arrived == 0
-                             ? std::move(input)
-                             : CombineReduce(col.is_max, site.accumulator,
-                                             input);
-    } else {
-      if (site.inputs.empty()) site.inputs.resize(n);
-      site.inputs[position] = std::move(input);
-    }
-    if (++site.arrived == n) {
-      // Last arrival: evaluate the whole group and wake the waiters. The
-      // result is position-ordered, so *which* thread computes it does not
-      // affect the outputs.
-      if (arrival_fold) {
-        site.outputs = col.kind == OpKind::kAllReduce
-                           ? std::vector<Tensor>(n, site.accumulator)
-                           : ScatterReduced(col, site.accumulator);
-      } else {
-        site.outputs = EvalGroupCollective(col, site.inputs);
-        site.inputs.clear();
-      }
-      site.done = true;
-      site.cv.notify_all();
-      return std::move(site.outputs[position]);
-    }
-    // Waiting at a barrier: hand the execution slot to a runnable device so
-    // any positive thread cap stays deadlock-free.
-    throttle_.Release();
-    site.cv.wait(lock, [&] { return site.done; });
-    Tensor output = std::move(site.outputs[position]);
-    lock.unlock();
-    throttle_.Acquire();
-    return output;
   }
 
   const SpmdModule& spmd_;
@@ -338,6 +256,15 @@ StatusOr<std::vector<Tensor>> RunSpmd(const SpmdModule& spmd,
                                       const std::vector<Tensor>& global_inputs,
                                       const RunOptions& options) {
   PARTIR_RETURN_IF_ERROR(ValidateSpmdInputs(spmd, global_inputs));
+  if (options.backend == ExecBackend::kCompiled) {
+    // Normally compiled once by the compile-device-programs pipeline pass;
+    // hand-built (or mutated) modules are compiled here per Run.
+    std::shared_ptr<const exec::DeviceProgram> program = spmd.exec_program;
+    if (program == nullptr) {
+      PARTIR_ASSIGN_OR_RETURN(program, exec::CompileDeviceProgram(spmd));
+    }
+    return exec::ExecuteCompiled(spmd, *program, global_inputs, options);
+  }
   // Normally precomputed right after collective optimization; modules built
   // by hand (or mutated through mutable_spmd) are planned here.
   std::shared_ptr<const CollectivePlan> local_plan = spmd.plan;

@@ -36,6 +36,18 @@ namespace partir {
 /** Per-device tensors, indexed by linear device id. */
 using PerDevice = std::vector<Tensor>;
 
+/** Which execution engine drives the device-local programs. */
+enum class ExecBackend {
+  /** The op-walking SPMD interpreter: fresh tensor per op per device. */
+  kInterpret,
+  /**
+   * The compiled executor (src/exec/): flat instruction stream with
+   * pre-resolved arena slots from the liveness memory planner.
+   * Bit-identical outputs to kInterpret on all supported programs.
+   */
+  kCompiled,
+};
+
 /** Options controlling multi-device execution. */
 struct RunOptions {
   /**
@@ -53,6 +65,13 @@ struct RunOptions {
    * arrival order — correct within float tolerance, not bit-stable.
    */
   bool deterministic = true;
+  /**
+   * Execution engine. kInterpret (default) walks the IR per Run;
+   * kCompiled executes the precompiled DeviceProgram (compiling one ad hoc
+   * when the module carries none). Both honor num_threads/deterministic
+   * identically.
+   */
+  ExecBackend backend = ExecBackend::kInterpret;
 };
 
 /** Slices a global tensor into per-device shards per the sharding. */

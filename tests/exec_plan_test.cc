@@ -1,0 +1,218 @@
+// Tests for the exec memory planner in isolation: liveness intervals over
+// the flat instruction stream, slot reuse never overlapping live ranges,
+// in-place legality (refused when the operand is read again later or
+// returned), size-class reuse across shapes, and plan determinism.
+#include <gtest/gtest.h>
+
+#include "src/exec/memory_planner.h"
+#include "src/ir/builder.h"
+#include "src/ir/ir.h"
+
+namespace partir {
+namespace {
+
+using exec::MemoryPlan;
+using exec::PlanMemory;
+using exec::ValuePlan;
+
+// A module wrapping one hand-built flat function.
+struct TestFunc {
+  Module module;
+  Func* func = nullptr;
+  OpBuilder builder;
+
+  TestFunc() : func(module.AddFunc("main")), builder(&func->body()) {}
+
+  Value* Arg(std::vector<int64_t> dims, const std::string& name) {
+    return func->body().AddArg(TensorType(std::move(dims)), name);
+  }
+};
+
+const ValuePlan& PlanOf(const MemoryPlan& plan, const Value* value) {
+  return plan.values[plan.IndexOf(value)];
+}
+
+// The planner's core safety invariant: two values sharing a slot must have
+// disjoint live intervals, touching only at an in-place handoff (where the
+// dying operand's last_use is the adopting result's def).
+void ExpectNoLiveOverlap(const MemoryPlan& plan) {
+  for (size_t i = 0; i < plan.values.size(); ++i) {
+    for (size_t j = i + 1; j < plan.values.size(); ++j) {
+      const ValuePlan& a = plan.values[i];
+      const ValuePlan& b = plan.values[j];
+      if (a.slot != b.slot) continue;
+      int a_start = std::max(a.def, 0), b_start = std::max(b.def, 0);
+      if (a.last_use < a_start || b.last_use < b_start) continue;  // unused
+      const ValuePlan& first = a_start <= b_start ? a : b;
+      const ValuePlan& second = a_start <= b_start ? b : a;
+      int second_start = std::max(second.def, 0);
+      EXPECT_LE(first.last_use, second_start)
+          << "slot " << a.slot << " live ranges overlap: '"
+          << first.value->name() << "' and '" << second.value->name() << "'";
+      if (first.last_use == second_start) {
+        EXPECT_TRUE(second.in_place)
+            << "slot " << a.slot << " handed from '" << first.value->name()
+            << "' to '" << second.value->name() << "' without in-place";
+      }
+    }
+  }
+}
+
+TEST(ExecPlanTest, LivenessIntervalsOfAChain) {
+  TestFunc tf;
+  Value* x = tf.Arg({4, 4}, "x");
+  Value* y = tf.builder.Neg(x);      // instruction 0
+  Value* z = tf.builder.Exp(y);      // instruction 1
+  tf.builder.Return({z});
+
+  MemoryPlan plan = PlanMemory(*tf.func);
+  EXPECT_EQ(plan.num_instructions, 2);
+  EXPECT_EQ(PlanOf(plan, x).def, -1);
+  EXPECT_EQ(PlanOf(plan, x).last_use, 0);
+  EXPECT_EQ(PlanOf(plan, y).def, 0);
+  EXPECT_EQ(PlanOf(plan, y).last_use, 1);
+  // Returned values live past the last instruction (never reclaimed).
+  EXPECT_EQ(PlanOf(plan, z).def, 1);
+  EXPECT_EQ(PlanOf(plan, z).last_use, 2);
+  ExpectNoLiveOverlap(plan);
+}
+
+TEST(ExecPlanTest, ElementwiseChainRunsInPlace) {
+  TestFunc tf;
+  Value* x = tf.Arg({8}, "x");
+  Value* y = tf.builder.Neg(x);   // x dies here -> in place
+  Value* z = tf.builder.Tanh(y);  // y dies here -> in place
+  tf.builder.Return({z});
+
+  MemoryPlan plan = PlanMemory(*tf.func);
+  EXPECT_TRUE(PlanOf(plan, y).in_place);
+  EXPECT_TRUE(PlanOf(plan, z).in_place);
+  EXPECT_EQ(PlanOf(plan, y).slot, PlanOf(plan, x).slot);
+  EXPECT_EQ(PlanOf(plan, z).slot, PlanOf(plan, x).slot);
+  EXPECT_EQ(plan.slot_numels.size(), 1u);  // the whole chain in one buffer
+  EXPECT_EQ(plan.in_place_ops, 2);
+  ExpectNoLiveOverlap(plan);
+}
+
+TEST(ExecPlanTest, InPlaceRefusedWhenOperandHasLaterUse) {
+  TestFunc tf;
+  Value* x = tf.Arg({8}, "x");
+  Value* y = tf.builder.Neg(x);       // x is read again below: no in-place
+  Value* z = tf.builder.Add(y, x);    // now y and x both die: in-place on y
+  tf.builder.Return({z});
+
+  MemoryPlan plan = PlanMemory(*tf.func);
+  EXPECT_FALSE(PlanOf(plan, y).in_place);
+  EXPECT_NE(PlanOf(plan, y).slot, PlanOf(plan, x).slot);
+  EXPECT_TRUE(PlanOf(plan, z).in_place);
+  EXPECT_EQ(PlanOf(plan, z).slot, PlanOf(plan, y).slot);
+  ExpectNoLiveOverlap(plan);
+}
+
+TEST(ExecPlanTest, InPlaceRefusedWhenOperandIsReturned) {
+  TestFunc tf;
+  Value* x = tf.Arg({8}, "x");
+  Value* y = tf.builder.Neg(x);
+  tf.builder.Return({y, x});  // x outlives everything: Neg may not claim it
+
+  MemoryPlan plan = PlanMemory(*tf.func);
+  EXPECT_FALSE(PlanOf(plan, y).in_place);
+  EXPECT_NE(PlanOf(plan, y).slot, PlanOf(plan, x).slot);
+  EXPECT_EQ(PlanOf(plan, x).last_use, plan.num_instructions);
+  ExpectNoLiveOverlap(plan);
+}
+
+TEST(ExecPlanTest, DeadSlotsAreReusedAcrossShapesOfEqualSize) {
+  // Two disjoint chains through differently-shaped same-numel values: the
+  // second chain's buffers come from the first chain's freed slots.
+  TestFunc tf;
+  Value* a = tf.Arg({4, 4}, "a");
+  Value* b = tf.Arg({16}, "b");
+  Value* t1 = tf.builder.MatMul(a, a);          // non-elementwise: fresh slot
+  Value* t2 = tf.builder.Reshape(t1, {16});     // fresh slot; t1 dies
+  Value* t3 = tf.builder.Add(t2, b);            // in-place over t2
+  tf.builder.Return({t3});
+
+  MemoryPlan plan = PlanMemory(*tf.func);
+  EXPECT_FALSE(PlanOf(plan, t1).in_place);
+  // t2 (shape [16]) reuses nothing in-place (reshape copies), but after t1
+  // dies its 16-element slot is free for any later same-size value.
+  EXPECT_TRUE(PlanOf(plan, t3).in_place);
+  EXPECT_LT(plan.arena_bytes, plan.unplanned_bytes);
+  ExpectNoLiveOverlap(plan);
+
+  // Values outnumber slots: reuse happened.
+  EXPECT_LT(plan.slot_numels.size(), plan.values.size());
+}
+
+TEST(ExecPlanTest, LongChainArenaStaysFlat) {
+  // A deep non-elementwise chain (dot with itself each step keeps operands
+  // alive one step) must not grow the arena linearly with depth.
+  TestFunc tf;
+  Value* x = tf.Arg({8, 8}, "x");
+  Value* cur = x;
+  for (int i = 0; i < 20; ++i) cur = tf.builder.MatMul(cur, x);
+  tf.builder.Return({cur});
+
+  MemoryPlan plan = PlanMemory(*tf.func);
+  // x plus two rotating dot buffers.
+  EXPECT_LE(plan.slot_numels.size(), 3u);
+  EXPECT_GE(plan.slots_reused, 18);
+  EXPECT_LT(plan.arena_bytes, plan.unplanned_bytes / 5);
+  ExpectNoLiveOverlap(plan);
+}
+
+TEST(ExecPlanTest, PeakLiveNeverExceedsArena) {
+  TestFunc tf;
+  Value* x = tf.Arg({8, 8}, "x");
+  Value* y = tf.builder.MatMul(x, x);
+  Value* z = tf.builder.Add(y, x);
+  tf.builder.Return({tf.builder.Tanh(z)});
+
+  MemoryPlan plan = PlanMemory(*tf.func);
+  EXPECT_GT(plan.peak_live_bytes, 0);
+  EXPECT_LE(plan.peak_live_bytes, plan.arena_bytes);
+  EXPECT_LE(plan.arena_bytes, plan.unplanned_bytes);
+}
+
+TEST(ExecPlanTest, PlansAreDeterministic) {
+  auto build = [](TestFunc& tf) {
+    Value* x = tf.Arg({4, 8}, "x");
+    Value* w = tf.Arg({8, 4}, "w");
+    Value* h = tf.builder.Tanh(tf.builder.MatMul(x, w));
+    Value* g = tf.builder.MatMul(h, tf.builder.Reshape(w, {4, 8}));
+    tf.builder.Return({tf.builder.Add(g, g)});
+  };
+  TestFunc first, second;
+  build(first);
+  build(second);
+  MemoryPlan a = PlanMemory(*first.func);
+  MemoryPlan b = PlanMemory(*second.func);
+  ASSERT_EQ(a.values.size(), b.values.size());
+  for (size_t i = 0; i < a.values.size(); ++i) {
+    EXPECT_EQ(a.values[i].slot, b.values[i].slot) << "value " << i;
+    EXPECT_EQ(a.values[i].def, b.values[i].def) << "value " << i;
+    EXPECT_EQ(a.values[i].last_use, b.values[i].last_use) << "value " << i;
+    EXPECT_EQ(a.values[i].in_place, b.values[i].in_place) << "value " << i;
+  }
+  EXPECT_EQ(a.slot_numels, b.slot_numels);
+  EXPECT_EQ(a.arena_bytes, b.arena_bytes);
+  EXPECT_EQ(a.peak_live_bytes, b.peak_live_bytes);
+}
+
+TEST(ExecPlanTest, UnusedArgumentFreesItsSlotImmediately) {
+  TestFunc tf;
+  Value* x = tf.Arg({8}, "x");
+  tf.Arg({8}, "unused");
+  Value* y = tf.builder.Neg(x);  // may claim x in place
+  tf.builder.Return({y});
+
+  MemoryPlan plan = PlanMemory(*tf.func);
+  // The unused arg still owns a slot (its shard is materialized), but its
+  // empty live range never blocks anyone.
+  EXPECT_TRUE(PlanOf(plan, y).in_place);
+  ExpectNoLiveOverlap(plan);
+}
+
+}  // namespace
+}  // namespace partir
