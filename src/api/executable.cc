@@ -3,6 +3,8 @@
 #include "src/api/partition_cache.h"
 #include "src/ir/fingerprint.h"
 #include "src/ir/printer.h"
+#include "src/persist/serializer.h"
+#include "src/persist/store.h"
 #include "src/spmd/spmd_interpreter.h"
 
 namespace partir {
@@ -85,6 +87,14 @@ StatusOr<std::string> Executable::Print(Stage stage) const {
       return partir::Print(*result_.spmd.module);
   }
   return InternalError("unknown stage");
+}
+
+Status Executable::SaveResult(const std::string& path) const {
+  return persist::WriteFileAtomic(
+      path,
+      persist::EncodeEntry(persist::PayloadKind::kPartitionResult,
+                           "partir-partition-result",
+                           persist::SerializePartitionResult(result_)));
 }
 
 StatusOr<Executable> Executable::Respecialize(

@@ -142,6 +142,20 @@ class Executable {
     return result_.spmd;
   }
 
+  // ---- Persistence ----
+
+  /**
+   * Saves the full partition result to `path` in the persistent-cache
+   * entry format (src/persist/): the device-local SPMD module, shardings,
+   * per-tactic reports, pipeline statistics and stage snapshots, framed
+   * with a version and checksum and written via temp-file + atomic rename.
+   * The payload is exactly what the partition cache's disk tier stores, so
+   * a saved result can be decoded with persist::DecodeEntry +
+   * persist::DeserializePartitionResult (the collective plan and compiled
+   * device program are process-local and recompiled on load).
+   */
+  Status SaveResult(const std::string& path) const;
+
   // ---- Re-partitioning ----
 
   /**

@@ -1,12 +1,103 @@
 #include "src/api/partition_cache.h"
 
 #include <cstdio>
+#include <utility>
 
 #include "src/exec/device_program.h"
 #include "src/ir/passes.h"
+#include "src/persist/serializer.h"
+#include "src/persist/store.h"
 #include "src/spmd/collectives.h"
 
 namespace partir {
+
+PartitionCache::~PartitionCache() {
+  bool join;
+  {
+    std::lock_guard<std::mutex> lock(disk_mu_);
+    disk_stop_ = true;
+    join = disk_writer_.joinable();
+  }
+  disk_cv_.notify_all();
+  // The writer drains the remaining queue before honoring stop, so results
+  // computed just before destruction still reach the disk.
+  if (join) disk_writer_.join();
+}
+
+void PartitionCache::ConfigureDisk(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  disk_dir_ = dir;
+}
+
+void PartitionCache::FlushDiskWrites() {
+  std::unique_lock<std::mutex> lock(disk_mu_);
+  disk_idle_cv_.wait(lock, [&] { return disk_queue_.empty() && !disk_busy_; });
+}
+
+std::shared_ptr<const PartitionResult> PartitionCache::TryLoadFromDisk(
+    const std::string& dir, const std::string& key) {
+  StatusOr<PartitionResult> loaded = [&]() -> StatusOr<PartitionResult> {
+    PARTIR_ASSIGN_OR_RETURN(
+        std::string payload,
+        persist::ReadEntry(dir, persist::PayloadKind::kPartitionResult, key));
+    return persist::DeserializePartitionResult(payload);
+  }();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (loaded.ok()) {
+    ++disk_hits_;
+    return std::make_shared<const PartitionResult>(std::move(loaded).value());
+  }
+  if (loaded.status().code() == StatusCode::kDataLoss) {
+    ++disk_corrupt_;
+  } else {
+    ++disk_misses_;
+  }
+  return nullptr;
+}
+
+void PartitionCache::EnqueueDiskWrite(DiskWrite write) {
+  {
+    std::lock_guard<std::mutex> lock(disk_mu_);
+    if (disk_stop_) return;
+    if (!disk_writer_.joinable()) {
+      disk_writer_ = std::thread(&PartitionCache::DiskWriterLoop, this);
+    }
+    disk_queue_.push_back(std::move(write));
+  }
+  disk_cv_.notify_one();
+}
+
+void PartitionCache::DiskWriterLoop() {
+  std::unique_lock<std::mutex> lock(disk_mu_);
+  for (;;) {
+    disk_cv_.wait(lock, [&] { return disk_stop_ || !disk_queue_.empty(); });
+    if (disk_queue_.empty()) {
+      if (disk_stop_) return;
+      continue;
+    }
+    DiskWrite write = std::move(disk_queue_.front());
+    disk_queue_.pop_front();
+    disk_busy_ = true;
+    lock.unlock();
+    // Serialize + write outside both locks; entries are immutable, so
+    // reading the result concurrently with cache hits is safe.
+    std::string payload = persist::SerializePartitionResult(*write.result);
+    Status status =
+        persist::WriteEntry(write.dir, persist::PayloadKind::kPartitionResult,
+                            write.key, payload);
+    {
+      std::lock_guard<std::mutex> stats_lock(mu_);
+      if (status.ok()) {
+        ++disk_writes_;
+      } else {
+        ++disk_write_errors_;  // best-effort: a full disk is not an error
+      }
+    }
+    lock.lock();
+    disk_busy_ = false;
+    if (disk_queue_.empty()) disk_idle_cv_.notify_all();
+  }
+}
 
 std::shared_ptr<const PartitionResult> PartitionCache::LookupLocked(
     const std::string& key) {
@@ -55,6 +146,7 @@ StatusOr<std::shared_ptr<const PartitionResult>> PartitionCache::GetOrCompute(
     const std::function<StatusOr<PartitionResult>()>& compute) {
   std::shared_ptr<Inflight> flight;
   bool leader = false;
+  std::string disk_dir;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (std::shared_ptr<const PartitionResult> hit = LookupLocked(key)) {
@@ -69,6 +161,7 @@ StatusOr<std::shared_ptr<const PartitionResult>> PartitionCache::GetOrCompute(
       flight = std::make_shared<Inflight>();
       inflight_[key] = flight;
       leader = true;
+      disk_dir = disk_dir_;
     }
   }
 
@@ -85,12 +178,25 @@ StatusOr<std::shared_ptr<const PartitionResult>> PartitionCache::GetOrCompute(
     return flight->result;
   }
 
-  // Leader: run the pipeline outside every lock, then publish.
-  StatusOr<PartitionResult> computed = compute();
+  // Leader: consult the disk tier, else run the pipeline — both outside
+  // every lock — then publish.
   std::shared_ptr<const PartitionResult> stored;
-  if (computed.ok()) {
-    stored = std::make_shared<const PartitionResult>(
-        std::move(computed).value());
+  Status failure = Status::Ok();
+  if (!disk_dir.empty()) {
+    stored = TryLoadFromDisk(disk_dir, key);
+  }
+  if (stored == nullptr) {
+    StatusOr<PartitionResult> computed = compute();
+    if (computed.ok()) {
+      stored = std::make_shared<const PartitionResult>(
+          std::move(computed).value());
+      // Replenish the persistent tier asynchronously and best-effort.
+      if (!disk_dir.empty()) {
+        EnqueueDiskWrite(DiskWrite{disk_dir, key, stored});
+      }
+    } else {
+      failure = computed.status();
+    }
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -100,11 +206,11 @@ StatusOr<std::shared_ptr<const PartitionResult>> PartitionCache::GetOrCompute(
   {
     std::lock_guard<std::mutex> lock(flight->mu);
     flight->done = true;
-    flight->status = computed.ok() ? Status::Ok() : computed.status();
+    flight->status = failure;
     flight->result = stored;
   }
   flight->cv.notify_all();
-  if (stored == nullptr) return computed.status();
+  if (stored == nullptr) return failure;
   return stored;
 }
 
@@ -116,6 +222,11 @@ PartitionCacheStats PartitionCache::stats() const {
   stats.joins = joins_;
   stats.entries = static_cast<int64_t>(entries_.size());
   stats.capacity = capacity_;
+  stats.disk_hits = disk_hits_;
+  stats.disk_misses = disk_misses_;
+  stats.disk_writes = disk_writes_;
+  stats.disk_write_errors = disk_write_errors_;
+  stats.disk_corrupt = disk_corrupt_;
   return stats;
 }
 
@@ -229,6 +340,8 @@ StatusOr<PartitionResult> PartitionThroughCache(
     PartitionContext ctx(traced, mesh);
     return PartirJitOrError(ctx, schedule, options);
   }
+  const std::string disk_dir = persist::ResolveCacheDir(options.cache_dir);
+  if (!disk_dir.empty()) cache.ConfigureDisk(disk_dir);
   const std::string key =
       PartitionCacheKey(trace_fingerprint, schedule, mesh, options);
   PARTIR_ASSIGN_OR_RETURN(

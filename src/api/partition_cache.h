@@ -11,18 +11,29 @@
  * Entries are immutable; every hit hands out a fresh clone of the lowered
  * module (with its own collective plan), so executables stay independently
  * mutable. The cache itself is thread-safe.
+ *
+ * A second, persistent tier (src/persist/) sits behind the in-memory LRU
+ * when a cache directory is configured (PartitionOptions::cache_dir or
+ * PARTIR_CACHE_DIR): an in-memory miss first consults the content-addressed
+ * on-disk store — a disk hit deserializes the stored result, recompiles the
+ * process-local device program, and promotes the entry into memory —
+ * and pipeline results are persisted back asynchronously and best-effort
+ * (a full disk or read-only volume costs a counter bump, never an error),
+ * so a restarted or sibling process warms from prior compilations.
  */
 #ifndef PARTIR_API_PARTITION_CACHE_H_
 #define PARTIR_API_PARTITION_CACHE_H_
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/schedule/schedule.h"
@@ -40,6 +51,21 @@ struct PartitionCacheStats {
   int64_t joins = 0;
   int64_t entries = 0;
   int64_t capacity = 0;
+
+  // ---- Disk tier (zero unless a cache directory is configured) ----
+
+  /** In-memory misses served by deserializing an on-disk entry. */
+  int64_t disk_hits = 0;
+  /** In-memory misses with no (or a stale) on-disk entry. */
+  int64_t disk_misses = 0;
+  /** Results persisted to disk by the background writer. */
+  int64_t disk_writes = 0;
+  /** Persist attempts that failed (full disk, unwritable directory, ...);
+   *  best-effort, so these cost nothing but this counter. */
+  int64_t disk_write_errors = 0;
+  /** On-disk entries rejected as damaged (truncation, checksum mismatch,
+   *  malformed payload) — treated as misses, recompiled cleanly. */
+  int64_t disk_corrupt = 0;
 };
 
 /**
@@ -54,6 +80,25 @@ class PartitionCache {
 
   explicit PartitionCache(int64_t capacity = kDefaultCapacity)
       : capacity_(capacity) {}
+
+  /** Drains pending disk writes, then joins the background writer. */
+  ~PartitionCache();
+
+  PartitionCache(const PartitionCache&) = delete;
+  PartitionCache& operator=(const PartitionCache&) = delete;
+
+  /**
+   * Enables the persistent disk tier under `dir` (idempotent; typically
+   * called by PartitionThroughCache with the resolved
+   * PartitionOptions::cache_dir / PARTIR_CACHE_DIR). Once enabled the tier
+   * stays configured for the cache's lifetime; reconfiguring with a new
+   * non-empty directory redirects subsequent reads and writes.
+   */
+  void ConfigureDisk(const std::string& dir);
+
+  /** Blocks until every enqueued background persist has hit the disk —
+   *  for tests and for handing a warm cache directory to another process. */
+  void FlushDiskWrites();
 
   /** Returns the cached result (refreshing its recency), counting a hit;
    *  null counts a miss. */
@@ -73,6 +118,12 @@ class PartitionCache {
    * same shape class must yield ONE pipeline run and ONE entry). Errors are
    * not cached; followers of a failed leader receive the leader's status,
    * and the next call retries fresh.
+   *
+   * With a disk tier configured, the leader consults the on-disk store
+   * before running `compute` — a valid entry is deserialized, promoted into
+   * the in-memory LRU and returned (disk_hits); a damaged entry counts
+   * disk_corrupt and falls through to `compute`; and a fresh `compute`
+   * result is enqueued for asynchronous best-effort persistence.
    */
   StatusOr<std::shared_ptr<const PartitionResult>> GetOrCompute(
       const std::string& key,
@@ -95,11 +146,28 @@ class PartitionCache {
     std::shared_ptr<const PartitionResult> result;
   };
 
+  /** One pending background persist. */
+  struct DiskWrite {
+    std::string dir;
+    std::string key;
+    std::shared_ptr<const PartitionResult> result;
+  };
+
   /** Lookup under mu_ held, refreshing recency; does not touch counters. */
   std::shared_ptr<const PartitionResult> LookupLocked(const std::string& key);
   void InsertLocked(const std::string& key,
                     std::shared_ptr<const PartitionResult> result);
 
+  /** Disk-tier read: load + deserialize the entry for `key`, counting
+   *  disk_hits / disk_misses / disk_corrupt. Null on any miss. */
+  std::shared_ptr<const PartitionResult> TryLoadFromDisk(
+      const std::string& dir, const std::string& key);
+  /** Hands a result to the background writer (starting it lazily). */
+  void EnqueueDiskWrite(DiskWrite write);
+  void DiskWriterLoop();
+
+  // Lock ordering: mu_ and disk_mu_ are never held together (counter
+  // updates from the writer thread release disk_mu_ first).
   mutable std::mutex mu_;
   int64_t capacity_;
   std::list<std::string> lru_;  // front = most recently used
@@ -108,6 +176,21 @@ class PartitionCache {
   int64_t hits_ = 0;
   int64_t misses_ = 0;
   int64_t joins_ = 0;
+  std::string disk_dir_;  // empty = disk tier off
+  int64_t disk_hits_ = 0;
+  int64_t disk_misses_ = 0;
+  int64_t disk_writes_ = 0;
+  int64_t disk_write_errors_ = 0;
+  int64_t disk_corrupt_ = 0;
+
+  // Background persist queue; the writer thread starts on first enqueue.
+  std::mutex disk_mu_;
+  std::condition_variable disk_cv_;       // wakes the writer
+  std::condition_variable disk_idle_cv_;  // wakes FlushDiskWrites waiters
+  std::deque<DiskWrite> disk_queue_;
+  bool disk_busy_ = false;  // a write is in progress (queue may be empty)
+  bool disk_stop_ = false;
+  std::thread disk_writer_;
 };
 
 /**
@@ -135,7 +218,10 @@ PartitionResult ClonePartitionResult(const PartitionResult& result);
  * Runs a partition request through `cache`: a hit returns a clone of the
  * cached result; a miss runs PartirJitOrError on a fresh context over
  * `traced` and populates the cache (single-flight: concurrent misses on the
- * same key run the pipeline once). Pipeline errors are not cached.
+ * same key run the pipeline once). Pipeline errors are not cached. When the
+ * request resolves a cache directory (options.cache_dir or PARTIR_CACHE_DIR)
+ * the cache's persistent disk tier is enabled first, so in-memory misses
+ * consult — and results replenish — the cross-process store.
  */
 StatusOr<PartitionResult> PartitionThroughCache(
     PartitionCache& cache, uint64_t trace_fingerprint, Func* traced,

@@ -3,8 +3,16 @@
 #include "src/interp/interpreter.h"
 #include "src/ir/fingerprint.h"
 #include "src/ir/printer.h"
+#include "src/persist/serializer.h"
+#include "src/persist/store.h"
 
 namespace partir {
+
+namespace {
+/** Embedded key of Program::Save files (the store embeds and verifies the
+ *  key, so a partition-cache entry cannot be passed off as a program). */
+constexpr char kProgramFileKey[] = "partir-program";
+}  // namespace
 
 Program::Program(std::string name)
     : module_(std::make_shared<Module>()),
@@ -82,5 +90,31 @@ std::vector<Tensor> Program::RandomInputs(uint64_t seed,
 }
 
 std::string Program::Print() const { return partir::Print(*func_); }
+
+Status Program::Save(const std::string& path) const {
+  return persist::WriteFileAtomic(
+      path, persist::EncodeEntry(persist::PayloadKind::kModule,
+                                 kProgramFileKey,
+                                 persist::SerializeModule(*module_)));
+}
+
+StatusOr<Program> Program::Load(const std::string& path) {
+  PARTIR_ASSIGN_OR_RETURN(std::string bytes,
+                          persist::ReadFileToString(path));
+  PARTIR_ASSIGN_OR_RETURN(
+      std::string payload,
+      persist::DecodeEntry(bytes, persist::PayloadKind::kModule,
+                           kProgramFileKey));
+  PARTIR_ASSIGN_OR_RETURN(std::unique_ptr<Module> module,
+                          persist::DeserializeModule(payload));
+  if (module->funcs().empty()) {
+    return DataLossError("program file ", path, " holds an empty module");
+  }
+  Program loaded((CaptureTag()));
+  loaded.module_ = std::move(module);
+  loaded.func_ = loaded.module_->funcs().front().get();
+  loaded.builder_.SetInsertionBlock(&loaded.func_->body());
+  return loaded;
+}
 
 }  // namespace partir

@@ -133,10 +133,31 @@ class Program {
     return cache_;
   }
 
+  // ---- Persistence ----
+
+  /**
+   * Saves the traced module to `path` in the persistent-cache entry format
+   * (src/persist/): a versioned, checksummed frame around the serialized
+   * IR, written via temp-file + atomic rename. The trace round-trips
+   * exactly — names, types, attributes, regions — so Load + Partition
+   * hits the same persistent cache entries this program would.
+   */
+  Status Save(const std::string& path) const;
+
+  /**
+   * Rebuilds a Program from a Save file. Typed failures: kNotFound for a
+   * missing file or a foreign/stale frame, kDataLoss for a damaged one.
+   * The batch-parameterized serving builder is code, not data, and does not
+   * survive a round trip: a loaded program is partitionable and runnable
+   * but not servable.
+   */
+  static StatusOr<Program> Load(const std::string& path);
+
   /** Structural fingerprint of the traced program — the trace component
-   *  of the partition-cache key. Computed fresh on every call (it walks
-   *  the trace once), so post-trace mutations through module()/builder()
-   *  can never serve a stale cache entry. */
+   *  of the partition-cache key. Cached on the traced function keyed on
+   *  its mutation version: an unchanged trace hashes once, while post-trace
+   *  mutations through module()/builder() invalidate the cached digest and
+   *  so can never serve a stale cache entry. */
   uint64_t TraceFingerprint() const;
 
   // ---- Reference execution ----

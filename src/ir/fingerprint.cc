@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <map>
+#include <optional>
 
 namespace partir {
 
@@ -121,7 +122,16 @@ class FuncFingerprinter {
 }  // namespace
 
 uint64_t FingerprintFunc(const Func& func) {
-  return FuncFingerprinter().Run(func);
+  // Serve the cached digest while the body version is unchanged; recompute
+  // (and re-cache) after any structural mutation. Capturing the version
+  // before the walk means a mutation racing the hash is never cached.
+  if (std::optional<uint64_t> cached = func.cached_fingerprint()) {
+    return *cached;
+  }
+  const uint64_t version = func.body().version();
+  const uint64_t fingerprint = FuncFingerprinter().Run(func);
+  func.cache_fingerprint(version, fingerprint);
+  return fingerprint;
 }
 
 }  // namespace partir

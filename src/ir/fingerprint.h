@@ -34,7 +34,12 @@ class FingerprintHasher {
   uint64_t state_ = 0xCBF29CE484222325ULL;  // FNV offset basis
 };
 
-/** Structural fingerprint of a function (the traced program). */
+/**
+ * Structural fingerprint of a function (the traced program). Cached on the
+ * Func keyed on its body's mutation version (Block::version), so repeated
+ * Partition / cache lookups on an unchanged trace hash it once; any
+ * mutation anywhere in the region tree invalidates the cache.
+ */
 uint64_t FingerprintFunc(const Func& func);
 
 }  // namespace partir

@@ -7,6 +7,24 @@ namespace partir {
 Region::Region() : block_(std::make_unique<Block>()) {}
 Region::~Region() = default;
 
+void Value::set_type(Type type) {
+  type_ = std::move(type);
+  if (owner_block_ != nullptr) {
+    owner_block_->BumpVersion();
+  } else if (def_ != nullptr && def_->parent() != nullptr) {
+    def_->parent()->BumpVersion();
+  }
+}
+
+void Value::set_name(std::string name) {
+  name_ = std::move(name);
+  if (owner_block_ != nullptr) {
+    owner_block_->BumpVersion();
+  } else if (def_ != nullptr && def_->parent() != nullptr) {
+    def_->parent()->BumpVersion();
+  }
+}
+
 Operation::Operation(OpKind kind, std::vector<Value*> operands,
                      std::vector<Type> result_types)
     : kind_(kind), operands_(std::move(operands)) {
@@ -21,8 +39,17 @@ Operation::Operation(OpKind kind, std::vector<Value*> operands,
 
 Operation::~Operation() = default;
 
+void Operation::set_operand(int i, Value* value) {
+  operands_.at(i) = value;
+  if (parent_ != nullptr) parent_->BumpVersion();
+}
+
 Region& Operation::AddRegion() {
   regions_.push_back(std::make_unique<Region>());
+  // Wire the region's block back to this op so mutations inside it
+  // propagate to every enclosing block's version.
+  regions_.back()->block().parent_op_ = this;
+  if (parent_ != nullptr) parent_->BumpVersion();
   return *regions_.back();
 }
 
@@ -31,21 +58,35 @@ Value* Block::AddArg(Type type, std::string name) {
   value->owner_block_ = this;
   value->arg_index_ = static_cast<int>(args_.size());
   args_.push_back(std::move(value));
+  BumpVersion();
   return args_.back().get();
 }
 
 Operation* Block::Append(std::unique_ptr<Operation> op) {
   op->parent_ = this;
   ops_.push_back(std::move(op));
+  BumpVersion();
   return ops_.back().get();
 }
 
+void Block::BumpVersion() {
+  ++version_;
+  for (Operation* op = parent_op_; op != nullptr;) {
+    Block* enclosing = op->parent();
+    if (enclosing == nullptr) break;
+    ++enclosing->version_;
+    op = enclosing->parent_op_;
+  }
+}
+
 void Block::EraseIf(const std::function<bool(const Operation&)>& predicate) {
+  size_t before = ops_.size();
   ops_.erase(std::remove_if(ops_.begin(), ops_.end(),
                             [&](const std::unique_ptr<Operation>& op) {
                               return predicate(*op);
                             }),
              ops_.end());
+  if (ops_.size() != before) BumpVersion();
 }
 
 void WalkOps(const Block& block,

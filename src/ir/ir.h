@@ -11,8 +11,11 @@
 #ifndef PARTIR_IR_IR_H_
 #define PARTIR_IR_IR_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -35,11 +38,13 @@ class Value {
                                        name_(std::move(name)) {}
 
   const Type& type() const { return type_; }
-  void set_type(Type type) { type_ = std::move(type); }
+  /** Replaces the type (bumps the owning block's mutation version). */
+  void set_type(Type type);
 
   /** Debug/printer name; block arguments keep user-facing input names. */
   const std::string& name() const { return name_; }
-  void set_name(std::string name) { name_ = std::move(name); }
+  /** Renames the value (bumps the owning block's mutation version). */
+  void set_name(std::string name);
 
   /** Defining operation, or nullptr for block arguments. */
   Operation* def() const { return def_; }
@@ -91,7 +96,8 @@ class Operation {
   const std::vector<Value*>& operands() const { return operands_; }
   Value* operand(int i) const { return operands_.at(i); }
   int num_operands() const { return static_cast<int>(operands_.size()); }
-  void set_operand(int i, Value* value) { operands_.at(i) = value; }
+  /** Rewires an operand (bumps the parent block's mutation version). */
+  void set_operand(int i, Value* value);
 
   Value* result(int i = 0) const { return results_.at(i).get(); }
   int num_results() const { return static_cast<int>(results_.size()); }
@@ -129,6 +135,18 @@ class Block {
   /** Appends an operation (takes ownership) and returns it. */
   Operation* Append(std::unique_ptr<Operation> op);
 
+  /**
+   * Monotonic mutation counter of this block *and every block nested under
+   * an enclosing operation below it*: structural mutations (AddArg, Append,
+   * EraseIf, operand rewires, value type/name changes) bump this block and
+   * propagate to every enclosing block, so the version of a function's body
+   * covers its whole region tree. Cached derived state (the structural
+   * trace fingerprint the partition cache keys on) is keyed on it.
+   */
+  uint64_t version() const { return version_; }
+  /** Records a mutation: bumps this block and every enclosing block. */
+  void BumpVersion();
+
   const std::vector<std::unique_ptr<Value>>& args() const { return args_; }
   Value* arg(int i) const { return args_.at(i).get(); }
   int num_args() const { return static_cast<int>(args_.size()); }
@@ -146,8 +164,12 @@ class Block {
   void EraseIf(const std::function<bool(const Operation&)>& predicate);
 
  private:
+  friend class Operation;
+
   std::vector<std::unique_ptr<Value>> args_;
   std::vector<std::unique_ptr<Operation>> ops_;
+  uint64_t version_ = 0;
+  Operation* parent_op_ = nullptr;  // the op whose region holds this block
 };
 
 /** A function: a named body block whose args are the function inputs. */
@@ -172,9 +194,35 @@ class Func {
     return nullptr;
   }
 
+  /**
+   * Structural-fingerprint cache (fingerprint.cc): the cached digest when
+   * one was stored for the *current* body version, else nullopt. Mutations
+   * anywhere in the region tree bump the body version (Block::version), so
+   * a stale fingerprint can never be returned. Thread-safe.
+   */
+  std::optional<uint64_t> cached_fingerprint() const {
+    std::lock_guard<std::mutex> lock(fingerprint_mu_);
+    if (!fingerprint_valid_ || fingerprint_version_ != body_.version()) {
+      return std::nullopt;
+    }
+    return fingerprint_;
+  }
+  /** Stores the fingerprint computed at `version` (captured by the caller
+   *  before hashing, so a mutation racing the walk is never cached). */
+  void cache_fingerprint(uint64_t version, uint64_t fingerprint) const {
+    std::lock_guard<std::mutex> lock(fingerprint_mu_);
+    fingerprint_valid_ = true;
+    fingerprint_version_ = version;
+    fingerprint_ = fingerprint;
+  }
+
  private:
   std::string name_;
   Block body_;
+  mutable std::mutex fingerprint_mu_;
+  mutable bool fingerprint_valid_ = false;
+  mutable uint64_t fingerprint_version_ = 0;
+  mutable uint64_t fingerprint_ = 0;
 };
 
 /** A module: a list of functions (usually one, "main"). */

@@ -1,0 +1,168 @@
+#include "src/persist/store.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "src/persist/serializer.h"
+
+namespace partir {
+namespace persist {
+namespace {
+
+constexpr char kMagic[8] = {'P', 'a', 'r', 't', 'I', 'R', 'c', '1'};
+
+std::string HexU64(uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(value));
+  return std::string(buf);
+}
+
+}  // namespace
+
+uint64_t HashBytes(const std::string& bytes) {
+  uint64_t state = 0xCBF29CE484222325ULL;  // FNV offset basis
+  for (unsigned char byte : bytes) {
+    state = (state ^ byte) * 0x100000001B3ULL;
+  }
+  return state;
+}
+
+std::string EncodeEntry(PayloadKind kind, const std::string& key,
+                        const std::string& payload) {
+  ByteWriter writer;
+  for (char c : kMagic) writer.WriteU8(static_cast<uint8_t>(c));
+  writer.WriteU32(kFormatVersion);
+  writer.WriteU32(static_cast<uint32_t>(kind));
+  writer.WriteStr(key);
+  writer.WriteU64(payload.size());
+  writer.WriteU64(HashBytes(payload));
+  std::string bytes = writer.TakeBytes();
+  bytes.append(payload);
+  return bytes;
+}
+
+StatusOr<std::string> DecodeEntry(const std::string& bytes, PayloadKind kind,
+                                  const std::string& key) {
+  ByteReader reader(bytes);
+  for (char expected : kMagic) {
+    uint8_t byte = reader.ReadU8();
+    if (reader.ok() && byte != static_cast<uint8_t>(expected)) {
+      return DataLossError("cache entry has bad magic (not a PartIR entry?)");
+    }
+  }
+  uint32_t version = reader.ReadU32();
+  if (reader.ok() && version != kFormatVersion) {
+    // A different (older or newer) build wrote this; treat as a plain miss.
+    return NotFoundError("cache entry format version ", version,
+                         " != expected ", kFormatVersion);
+  }
+  uint32_t stored_kind = reader.ReadU32();
+  if (reader.ok() && stored_kind != static_cast<uint32_t>(kind)) {
+    return NotFoundError("cache entry payload kind ", stored_kind,
+                         " != expected ", static_cast<uint32_t>(kind));
+  }
+  std::string stored_key = reader.ReadStr();
+  if (reader.ok() && stored_key != key) {
+    // File-name hash collision or a repurposed file: a miss, not damage.
+    return NotFoundError("cache entry key mismatch");
+  }
+  uint64_t payload_size = reader.ReadU64();
+  uint64_t checksum = reader.ReadU64();
+  if (!reader.ok()) return reader.status();
+  if (reader.remaining() != payload_size) {
+    return DataLossError("cache entry payload truncated: header says ",
+                         payload_size, " bytes, file holds ",
+                         reader.remaining());
+  }
+  std::string payload = bytes.substr(bytes.size() - reader.remaining());
+  if (HashBytes(payload) != checksum) {
+    return DataLossError("cache entry checksum mismatch");
+  }
+  return payload;
+}
+
+std::string EntryPath(const std::string& dir, const std::string& key) {
+  // Two independent hashes (plain and salted) make an accidental file-name
+  // collision need a simultaneous 128-bit coincidence; the embedded key
+  // check in DecodeEntry catches even that as a miss.
+  uint64_t primary = HashBytes(key);
+  uint64_t salted = HashBytes(std::string("partir-salt:") + key);
+  return (std::filesystem::path(dir) /
+          (HexU64(primary) + HexU64(salted) + ".partir"))
+      .string();
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::path target(path);
+  if (target.has_parent_path()) {
+    fs::create_directories(target.parent_path(), ec);
+    if (ec) {
+      return UnavailableError("cannot create cache directory ",
+                              target.parent_path().string(), ": ",
+                              ec.message());
+    }
+  }
+  // Unique per process+call so concurrent writers never share a temp file.
+  static std::atomic<uint64_t> counter{0};
+  fs::path tmp = target;
+  tmp += StrCat(".tmp.", static_cast<uint64_t>(::getpid()), ".",
+                counter.fetch_add(1));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return UnavailableError("cannot open ", tmp.string(), " for writing");
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      fs::remove(tmp, ec);
+      return UnavailableError("short write to ", tmp.string());
+    }
+  }
+  fs::rename(tmp, target, ec);  // atomic publish on POSIX
+  if (ec) {
+    fs::remove(tmp, ec);
+    return UnavailableError("cannot publish ", path, ": ", ec.message());
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFoundError("no cache entry at ", path);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) return UnavailableError("read error on ", path);
+  return bytes;
+}
+
+Status WriteEntry(const std::string& dir, PayloadKind kind,
+                  const std::string& key, const std::string& payload) {
+  return WriteFileAtomic(EntryPath(dir, key),
+                         EncodeEntry(kind, key, payload));
+}
+
+StatusOr<std::string> ReadEntry(const std::string& dir, PayloadKind kind,
+                                const std::string& key) {
+  PARTIR_ASSIGN_OR_RETURN(std::string bytes,
+                          ReadFileToString(EntryPath(dir, key)));
+  return DecodeEntry(bytes, kind, key);
+}
+
+std::string ResolveCacheDir(const std::string& option) {
+  if (!option.empty()) return option;
+  const char* env = std::getenv("PARTIR_CACHE_DIR");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
+}  // namespace persist
+}  // namespace partir

@@ -96,6 +96,17 @@ struct PartitionOptions {
    *  force the full pipeline on every call — e.g. when benchmarking it.
    *  Not part of the cache key (it does not change the result). */
   bool use_cache = true;
+  /**
+   * Directory of the persistent cross-process compilation cache
+   * (src/persist/): in-memory misses consult the content-addressed on-disk
+   * store before running the pipeline, and pipeline results are persisted
+   * back best-effort, so a restarted (or sibling) process warms from prior
+   * compilations. Empty (the default) falls back to the PARTIR_CACHE_DIR
+   * environment variable; when that is unset too, the disk tier is
+   * disabled. Requires use_cache. Not part of the cache key (it does not
+   * change the result).
+   */
+  std::string cache_dir;
 };
 
 /** Result of running a schedule. */

@@ -32,6 +32,7 @@ enum class StatusCode {
   kUnimplemented,
   kDeadlineExceeded,    // a serving request expired before it was dispatched
   kUnavailable,         // the serving endpoint is shut down / not accepting
+  kDataLoss,            // a stored payload failed validation (corrupt entry)
 };
 
 /** Printable name of a status code ("INVALID_ARGUMENT", ...). */
@@ -45,6 +46,7 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
     case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
   }
   return "UNKNOWN";
 }
@@ -105,6 +107,10 @@ Status DeadlineExceededError(const Args&... args) {
 template <typename... Args>
 Status UnavailableError(const Args&... args) {
   return Status(StatusCode::kUnavailable, StrCat(args...));
+}
+template <typename... Args>
+Status DataLossError(const Args&... args) {
+  return Status(StatusCode::kDataLoss, StrCat(args...));
 }
 
 /**
