@@ -6,8 +6,15 @@
 // same offered concurrency — the batching win the serving layer exists
 // for. Compilations are warmed up out-of-band (the partition cache makes
 // every shape class a one-time cost).
+//
+// A second summary compares serving tail latency with the executable's
+// persistent worker pool (RunOptions::use_pool, the default) against the
+// pre-pool behavior of spawning one thread per device per batch, on the
+// compiled backend. With --enforce-pool-floor, exits non-zero unless the
+// pooled p99 beats the spawning p99 by kPoolP99Floor x.
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <thread>
 
 #include "bench/bench_util.h"
@@ -33,10 +40,15 @@ double Percentile(std::vector<double> sorted_ms, double q) {
   return sorted_ms[index];
 }
 
+// CI floor for the pool comparison: pooled p99 must beat per-batch thread
+// spawning by this factor on the quickstart workload (compiled backend).
+constexpr double kPoolP99Floor = 1.3;
+
 struct Config {
   int64_t max_batch;
   int producers;
   int requests_per_producer;
+  RunOptions run;  // backend / pool settings forwarded to the batcher
 };
 
 struct Result {
@@ -53,6 +65,7 @@ Result RunConfig(const serving::ServeWorkload& workload,
   options.max_batch = config.max_batch;
   options.max_delay_us = 1000;
   options.max_inflight = 2;
+  options.run = config.run;
   std::unique_ptr<Batcher> batcher =
       program.Serve(workload.schedule, workload.mesh, options).value();
 
@@ -106,7 +119,14 @@ Result RunConfig(const serving::ServeWorkload& workload,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool enforce_pool_floor = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--enforce-pool-floor") == 0) {
+      enforce_pool_floor = true;
+    }
+  }
+
   PrintHeader("Serving batcher: throughput and latency vs (max_batch, "
               "producer threads) [quickstart workload]");
   serving::ServeWorkload workload = serving::MatMulChainWorkload();
@@ -156,5 +176,52 @@ int main() {
   std::printf("%s\n", json.str().c_str());
   std::printf("batched throughput %.2fx unbatched at max_batch=8 "
               "(target: >= 2x)\n", speedup);
+
+  // ---- Persistent worker pool vs per-batch thread spawning ----
+  // Same serving regime, compiled backend; the only difference between the
+  // arms is RunOptions::use_pool. Best-of-3 per arm, arms interleaved, so a
+  // background hiccup cannot land entirely on one side.
+  Config pooled_config{/*max_batch=*/4, /*producers=*/4,
+                       /*requests_per_producer=*/40, RunOptions{}};
+  pooled_config.run.backend = ExecBackend::kCompiled;
+  Config spawn_config = pooled_config;
+  spawn_config.run.use_pool = false;
+  Result pooled, spawn;
+  for (int round = 0; round < 3; ++round) {
+    Result p = RunConfig(workload, harness, pooled_config);
+    Result s = RunConfig(workload, harness, spawn_config);
+    if (round == 0 || p.p99_ms < pooled.p99_ms) pooled = p;
+    if (round == 0 || s.p99_ms < spawn.p99_ms) spawn = s;
+  }
+  double pool_p99_speedup =
+      pooled.p99_ms > 0 ? spawn.p99_ms / pooled.p99_ms : 0;
+  JsonWriter pool_json;
+  pool_json.BeginObject()
+      .Key("bench").Value("serve_pool_vs_spawn")
+      .Key("workload").Value(workload.name)
+      .Key("backend").Value("compiled")
+      .Key("max_batch").Value(pooled_config.max_batch)
+      .Key("producers").Value(pooled_config.producers)
+      .Key("pooled_p50_ms").Value(pooled.p50_ms)
+      .Key("pooled_p99_ms").Value(pooled.p99_ms)
+      .Key("pooled_rps").Value(pooled.throughput_rps)
+      .Key("spawn_p50_ms").Value(spawn.p50_ms)
+      .Key("spawn_p99_ms").Value(spawn.p99_ms)
+      .Key("spawn_rps").Value(spawn.throughput_rps)
+      .Key("pool_p99_speedup").Value(pool_p99_speedup)
+      .Key("pool_floor").Value(kPoolP99Floor)
+      .Key("pool_floor_ok").Value(pool_p99_speedup >= kPoolP99Floor);
+  pool_json.EndObject();
+  std::printf("%s\n", pool_json.str().c_str());
+  std::printf("pooled p99 %.3fms vs spawn p99 %.3fms: %.2fx (floor %.1fx)\n",
+              pooled.p99_ms, spawn.p99_ms, pool_p99_speedup, kPoolP99Floor);
+
+  if (enforce_pool_floor && pool_p99_speedup < kPoolP99Floor) {
+    std::fprintf(stderr,
+                 "FAIL: pooled serving p99 only %.2fx better than per-batch "
+                 "spawning (floor %.2fx)\n",
+                 pool_p99_speedup, kPoolP99Floor);
+    return 1;
+  }
   return speedup >= 2.0 ? 0 : 1;
 }

@@ -1,6 +1,7 @@
 #include "src/api/executable.h"
 
 #include "src/api/partition_cache.h"
+#include "src/exec/worker_pool.h"
 #include "src/ir/fingerprint.h"
 #include "src/ir/printer.h"
 #include "src/persist/serializer.h"
@@ -34,7 +35,29 @@ Status ValidateInputs(const Func& func, const std::vector<Tensor>& inputs) {
 StatusOr<std::vector<Tensor>> Executable::Run(
     const std::vector<Tensor>& inputs, const RunOptions& options) const {
   PARTIR_RETURN_IF_ERROR(api_internal::ValidateInputs(*traced_, inputs));
-  return RunSpmd(result_.spmd, inputs, options);
+  RunOptions run_options = options;
+  RunStats local_stats;
+  if (run_options.stats == nullptr) run_options.stats = &local_stats;
+  if (run_options.pool == nullptr && run_options.use_pool) {
+    run_options.pool = EnsurePool();
+  }
+  StatusOr<std::vector<Tensor>> outputs =
+      RunSpmd(result_.spmd, inputs, run_options);
+  if (outputs.ok()) {
+    runtime_->last_run_allocations.store(run_options.stats->allocations,
+                                         std::memory_order_relaxed);
+  }
+  return outputs;
+}
+
+exec::WorkerPool* Executable::EnsurePool() const {
+  const int64_t num_devices = result_.spmd.mesh.NumDevices();
+  if (num_devices <= 1) return nullptr;  // never goes threaded
+  std::lock_guard<std::mutex> lock(runtime_->mu);
+  if (runtime_->pool == nullptr) {
+    runtime_->pool = std::make_shared<exec::WorkerPool>(num_devices);
+  }
+  return runtime_->pool.get();
 }
 
 SimEstimate Executable::Estimate(const DeviceSpec& device) const {
@@ -48,7 +71,10 @@ StatusOr<exec::MemoryStats> Executable::memory_stats() const {
     PARTIR_ASSIGN_OR_RETURN(program,
                             exec::CompileDeviceProgram(result_.spmd));
   }
-  return exec::ComputeMemoryStats(result_.spmd, *program);
+  exec::MemoryStats stats = exec::ComputeMemoryStats(result_.spmd, *program);
+  stats.last_run_allocations =
+      runtime_->last_run_allocations.load(std::memory_order_relaxed);
+  return stats;
 }
 
 StatusOr<std::string> Executable::Print(Stage stage) const {

@@ -11,7 +11,10 @@
 #ifndef PARTIR_API_EXECUTABLE_H_
 #define PARTIR_API_EXECUTABLE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -24,6 +27,25 @@
 namespace partir {
 
 class PartitionCache;
+
+namespace exec {
+class WorkerPool;
+}  // namespace exec
+
+/**
+ * Mutable runtime state of one Executable, shared across moves (and kept
+ * alive by in-flight Runs' options): the lazily created persistent device
+ * worker pool, and the most recent Run's allocation count.
+ */
+struct RunRuntime {
+  std::mutex mu;
+  /** One resident thread per mesh device, created on the first threaded
+   *  Run and reused by every Run after it; null until then (and forever on
+   *  single-device meshes, which never go threaded). */
+  std::shared_ptr<exec::WorkerPool> pool;
+  /** RunStats::allocations of the most recent completed Run, -1 before. */
+  std::atomic<int64_t> last_run_allocations{-1};
+};
 
 namespace api_internal {
 /** Validates input count and shapes against a function signature. */
@@ -73,6 +95,13 @@ class Executable {
    * rendezvous collectives (RunOptions); options.num_threads == 1 selects
    * the sequential reference walker, whose outputs are bit-identical to
    * the threaded runtime's under the (default) deterministic mode.
+   *
+   * Threaded Runs reuse this executable's persistent worker pool (one
+   * resident thread per device, created on first use) instead of spawning
+   * num_devices threads per call; options.use_pool = false restores the
+   * spawning behavior, and a caller-supplied options.pool overrides the
+   * executable's own. options.stats, when set, receives per-Run statistics;
+   * the latest Run's allocation count is also reported by memory_stats().
    */
   StatusOr<std::vector<Tensor>> Run(const std::vector<Tensor>& inputs,
                                     const RunOptions& options = {}) const;
@@ -175,6 +204,10 @@ class Executable {
  private:
   friend class Program;
 
+  /** The executable's own pool (created on demand); null on single-device
+   *  meshes. */
+  exec::WorkerPool* EnsurePool() const;
+
   Executable(std::shared_ptr<Module> module, Func* traced,
              PartitionOptions options, PartitionResult result,
              std::shared_ptr<PartitionCache> cache)
@@ -187,6 +220,7 @@ class Executable {
   PartitionOptions options_;
   PartitionResult result_;  // its spmd.mesh is the mesh of record
   std::shared_ptr<PartitionCache> cache_;  // the Program's partition cache
+  std::shared_ptr<RunRuntime> runtime_ = std::make_shared<RunRuntime>();
 };
 
 }  // namespace partir

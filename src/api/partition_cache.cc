@@ -293,36 +293,35 @@ std::string PartitionCacheKey(uint64_t trace_fingerprint,
       "|schedule:", StrJoin(schedule, ",", TacticKey));
 }
 
-PartitionResult ClonePartitionResult(const PartitionResult& result) {
+PartitionResult ClonePartitionResult(
+    const std::shared_ptr<const PartitionResult>& result) {
   PartitionResult out;
-  out.spmd.module = CloneModule(*result.spmd.module);
-  out.spmd.mesh = result.spmd.mesh;
-  out.spmd.input_shardings = result.spmd.input_shardings;
-  out.spmd.output_shardings = result.spmd.output_shardings;
+  out.spmd.module = CloneModule(*result->spmd.module);
+  out.spmd.mesh = result->spmd.mesh;
+  out.spmd.input_shardings = result->spmd.input_shardings;
+  out.spmd.output_shardings = result->spmd.output_shardings;
   out.spmd.plan = BuildCollectivePlan(out.spmd.mesh, *out.spmd.module);
-  if (result.spmd.exec_program != nullptr) {
-    // The compiled program points into the original module's ops, so the
-    // clone recompiles against its own module (and fresh collective plan).
-    StatusOr<std::shared_ptr<const exec::DeviceProgram>> program =
-        exec::CompileDeviceProgram(out.spmd);
-    PARTIR_CHECK(program.ok())
-        << "recompiling a cached device program failed: "
-        << program.status().message();
-    out.spmd.exec_program = std::move(program).value();
+  if (result->spmd.exec_program != nullptr) {
+    // The compiled program is immutable and points into the cached entry's
+    // module, so clones share it instead of recompiling: the aliasing
+    // shared_ptr keeps the entire cached result (module included) alive for
+    // as long as any clone executes through the shared program.
+    out.spmd.exec_program = std::shared_ptr<const exec::DeviceProgram>(
+        result, result->spmd.exec_program.get());
   }
-  out.collectives = result.collectives;
-  out.estimate = result.estimate;
-  out.tactics = result.tactics;
-  out.partition_seconds = result.partition_seconds;
-  out.conflicts = result.conflicts;
-  out.pipeline = result.pipeline;
+  out.collectives = result->collectives;
+  out.estimate = result->estimate;
+  out.tactics = result->tactics;
+  out.partition_seconds = result->partition_seconds;
+  out.conflicts = result->conflicts;
+  out.pipeline = result->pipeline;
   // Clone the stage snapshots along with the module, so a cache-hit
   // executable's printable stages are as self-contained as its spmd module.
   // Snapshots that alias one module (the final loop form aliasing the last
   // tactic's capture) keep aliasing the same clone.
   std::map<const Module*, std::shared_ptr<const Module>> cloned;
-  out.snapshots.reserve(result.snapshots.size());
-  for (const StageSnapshot& snapshot : result.snapshots) {
+  out.snapshots.reserve(result->snapshots.size());
+  for (const StageSnapshot& snapshot : result->snapshots) {
     std::shared_ptr<const Module>& clone = cloned[snapshot.module.get()];
     if (clone == nullptr) clone = CloneModule(*snapshot.module);
     StageSnapshot copy = snapshot;
@@ -350,7 +349,7 @@ StatusOr<PartitionResult> PartitionThroughCache(
         PartitionContext ctx(traced, mesh);
         return PartirJitOrError(ctx, schedule, options);
       }));
-  return ClonePartitionResult(*cached);
+  return ClonePartitionResult(cached);
 }
 
 }  // namespace partir

@@ -211,8 +211,15 @@ std::string PartitionCacheKey(uint64_t trace_fingerprint,
  * final loop form aliasing the last tactic's capture), so the copy is fully
  * self-contained: Print(Stage) on a cache-hit executable can never observe
  * another executable's (or the cache entry's) modules.
+ *
+ * The compiled device program is NOT recompiled: it is immutable and pinned
+ * to the cached entry's module, so every clone shares it (an aliasing
+ * shared_ptr keeps the whole cached result alive). Mutable access to a
+ * clone's module drops the shared program (SpmdModule::InvalidatePlan), and
+ * the next Run compiles a private one against the mutated module.
  */
-PartitionResult ClonePartitionResult(const PartitionResult& result);
+PartitionResult ClonePartitionResult(
+    const std::shared_ptr<const PartitionResult>& result);
 
 /**
  * Runs a partition request through `cache`: a hit returns a clone of the

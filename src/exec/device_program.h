@@ -28,6 +28,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/exec/kernels.h"
 #include "src/exec/memory_planner.h"
 #include "src/interp/tensor.h"
 #include "src/spmd/collectives.h"
@@ -36,6 +37,8 @@
 
 namespace partir {
 namespace exec {
+
+struct LoopInfo;
 
 /** One executable record of the flat stream. */
 struct Instruction {
@@ -60,8 +63,28 @@ struct Instruction {
   /** Operand index whose slot the result overwrites in place, or -1. */
   int in_place_operand = -1;
 
-  /** Rank-2 dot lhs[i,k] * rhs[k,j] with no batch dims: fused kernel. */
+  /** Rank-2 dot lhs[i,k] * rhs[k,j] with no batch dims: blocked kernel. */
   bool fast_dot = false;
+
+  /**
+   * Non-null when this instruction is a fused run of >= 2 consecutive
+   * elementwise instructions (kernels.h): one loop over the data, only the
+   * final result written back. kind/op/result_* describe the last
+   * instruction of the run.
+   */
+  std::shared_ptr<const FusedChain> chain;
+
+  /**
+   * Non-null for compiled PartIR:Core loops: the trip-counted sub-program
+   * (body instructions share this program's arena, with per-iteration slot
+   * reuse from the planner).
+   */
+  std::shared_ptr<const LoopInfo> loop;
+
+  /** kPSlice inside a loop body: sliced dim and chunk count (the range
+   *  type's size); the runtime chunk index is the range slot's value. */
+  int64_t pslice_dim = 0;
+  int64_t pslice_count = 0;
 
   /** Zero-operand ops: the value, materialized once at compile time. */
   std::shared_ptr<const Tensor> baked;
@@ -76,6 +99,27 @@ struct Instruction {
   int64_t site_base = -1;
 };
 
+/**
+ * A compiled PartIR:Core loop: its body as a nested instruction stream
+ * over the same arena, plus how iterations combine into the result.
+ */
+struct LoopInfo {
+  enum class Action {
+    kAny,   // one iteration, copied to the result
+    kSum,   // element-wise accumulate in iteration order (+)
+    kMax,   // element-wise accumulate in iteration order (max)
+    kTile,  // each iteration fills chunk r of the result along tile_dim
+  };
+  Action action = Action::kAny;
+  int64_t trip_count = 0;
+  int64_t tile_dim = 0;  // kTile only
+  /** Arena slot of the body's range argument (scalar iteration index). */
+  int range_slot = -1;
+  /** Arena slot of the value the body yields each iteration. */
+  int yield_slot = -1;
+  std::vector<Instruction> body;
+};
+
 /** A compiled device-local program: instructions + arena plan. */
 struct DeviceProgram {
   std::vector<Instruction> instructions;
@@ -87,16 +131,25 @@ struct DeviceProgram {
   int64_t num_sites = 0;
   /** Keeps the CollectiveOp records the instructions point into alive. */
   std::shared_ptr<const CollectivePlan> collectives;
+  /** Fused-chain instructions / elementwise instructions folded into them
+   *  (including the chain heads), over the whole program incl. bodies. */
+  int64_t fused_chains = 0;
+  int64_t fused_instructions = 0;
 };
 
 /**
  * Compiles `spmd`'s main function into a DeviceProgram. Uses spmd.plan when
  * present (the pipeline's precomputed collective plan), else builds one.
- * Returns a typed error for programs the compiled backend does not cover
- * (nested regions, i.e. unlowered PartIR:Core loops).
+ * PartIR:Core loop regions compile into trip-counted sub-programs
+ * (LoopInfo); collectives inside a region, or stray slice/yield ops
+ * outside one, are typed errors.
  */
 StatusOr<std::shared_ptr<const DeviceProgram>> CompileDeviceProgram(
     const SpmdModule& spmd);
+
+/** Process-wide count of CompileDeviceProgram calls: lets tests assert
+ *  that partition-cache hits share programs instead of recompiling. */
+int64_t CompiledProgramCount();
 
 /** Memory-planner statistics of a compiled program, per device. */
 struct MemoryStats {
@@ -115,6 +168,16 @@ struct MemoryStats {
   int64_t in_place_ops = 0;
   /** peak_arena_bytes summed over the mesh. */
   int64_t total_arena_bytes = 0;
+  /** Kernel tier: fused elementwise chains and instructions folded away. */
+  int64_t fused_chains = 0;
+  int64_t fused_instructions = 0;
+  /**
+   * Fresh tensor-buffer constructions of this executable's most recent
+   * Run (RunStats::allocations), or -1 before the first Run. Reported by
+   * Executable::memory_stats(); counted per Run (not the racy process-wide
+   * Tensor::allocations() delta).
+   */
+  int64_t last_run_allocations = -1;
 };
 
 MemoryStats ComputeMemoryStats(const SpmdModule& spmd,

@@ -1,9 +1,12 @@
 #include "src/exec/executor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <thread>
 #include <utility>
 
+#include "src/exec/kernels.h"
+#include "src/exec/worker_pool.h"
 #include "src/interp/interpreter.h"
 #include "src/spmd/rendezvous.h"
 
@@ -29,31 +32,86 @@ Tensor& EnsureOut(Arena& arena, const Instruction& inst) {
   return out;
 }
 
+void ExecLocal(const Instruction& inst, Arena& arena);
+
 /**
- * lhs[i,k] . rhs[k,j] accumulating each output element in double over
- * ascending k — the exact summation order of the interpreter's EvalDot, so
- * the fused kernel stays bit-identical to the reference backend.
+ * A compiled PartIR:Core loop: runs the body sub-program trip_count times
+ * over the same arena and folds the per-iteration yields into the result
+ * with the reference interpreter's sequential semantics (any = iteration 0;
+ * sum/max = in-order accumulation; tile = chunk r of the tiled dim).
  */
-void Dot2dInto(const Tensor& lhs, const Tensor& rhs, Tensor& out) {
-  const int64_t rows = lhs.dim(0), inner = lhs.dim(1), cols = rhs.dim(1);
-  const float* a = lhs.data().data();
-  const float* b = rhs.data().data();
-  float* o = out.data().data();
-  for (int64_t i = 0; i < rows; ++i) {
-    const float* ai = a + i * inner;
-    for (int64_t j = 0; j < cols; ++j) {
-      double acc = 0.0;
-      for (int64_t k = 0; k < inner; ++k) {
-        acc += static_cast<double>(ai[k]) *
-               static_cast<double>(b[k * cols + j]);
-      }
-      o[i * cols + j] = static_cast<float>(acc);
+void RunLoop(const Instruction& inst, Arena& arena) {
+  const LoopInfo& loop = *inst.loop;
+  Tensor& out = EnsureOut(arena, inst);
+  for (int64_t r = 0; r < loop.trip_count; ++r) {
+    // The range argument is a scalar tensor holding the iteration index
+    // (built from data, so it never counts as a fresh allocation).
+    arena[loop.range_slot] =
+        Tensor({}, std::vector<float>{static_cast<float>(r)});
+    for (const Instruction& body_inst : loop.body) ExecLocal(body_inst, arena);
+    const Tensor& yielded = arena[loop.yield_slot];
+    switch (loop.action) {
+      case LoopInfo::Action::kAny:
+        std::copy(yielded.data().begin(), yielded.data().end(),
+                  out.data().begin());
+        return;
+      case LoopInfo::Action::kSum:
+      case LoopInfo::Action::kMax:
+        if (r == 0) {
+          std::copy(yielded.data().begin(), yielded.data().end(),
+                    out.data().begin());
+        } else {
+          AccumulateInto(yielded, loop.action == LoopInfo::Action::kMax, out);
+        }
+        break;
+      case LoopInfo::Action::kTile:
+        PlaceChunkInto(yielded, loop.tile_dim, r, loop.trip_count, out);
+        break;
     }
   }
 }
 
 /** Executes one non-collective instruction on one device's arena. */
 void ExecLocal(const Instruction& inst, Arena& arena) {
+  if (inst.chain != nullptr) {
+    // EnsureOut first: every slot of a chain holds the same element count,
+    // so the output buffer is never reallocated out from under an aliasing
+    // input pointer taken below.
+    Tensor& out = EnsureOut(arena, inst);
+    const FusedChain& chain = *inst.chain;
+    const float* in = arena[chain.input_slot].data().data();
+    const float* external_buf[16];
+    std::vector<const float*> external_heap;
+    const float* const* externals;
+    if (chain.steps.size() <= 16) {
+      for (size_t s = 0; s < chain.steps.size(); ++s) {
+        int slot = chain.steps[s].external_slot;
+        external_buf[s] = slot >= 0 ? arena[slot].data().data() : nullptr;
+      }
+      externals = external_buf;
+    } else {
+      external_heap.resize(chain.steps.size());
+      for (size_t s = 0; s < chain.steps.size(); ++s) {
+        int slot = chain.steps[s].external_slot;
+        external_heap[s] = slot >= 0 ? arena[slot].data().data() : nullptr;
+      }
+      externals = external_heap.data();
+    }
+    RunFusedChain(chain, in, externals, out.data().data(), inst.result_numel);
+    return;
+  }
+  if (inst.loop != nullptr) {
+    RunLoop(inst, arena);
+    return;
+  }
+  if (inst.kind == OpKind::kPSlice) {
+    const Tensor& in = arena[inst.operand_slots[0]];
+    const int64_t chunk =
+        static_cast<int64_t>(arena[inst.operand_slots[1]].data()[0]);
+    SliceChunkInto(in, inst.pslice_dim, chunk, inst.pslice_count,
+                   EnsureOut(arena, inst));
+    return;
+  }
   if (inst.baked != nullptr) {
     Tensor& out = EnsureOut(arena, inst);
     std::copy(inst.baked->data().begin(), inst.baked->data().end(),
@@ -93,7 +151,7 @@ void ExecLocal(const Instruction& inst, Arena& arena) {
   if (inst.fast_dot) {
     const Tensor& lhs = arena[inst.operand_slots[0]];
     const Tensor& rhs = arena[inst.operand_slots[1]];
-    Dot2dInto(lhs, rhs, EnsureOut(arena, inst));
+    BlockedDot2dInto(lhs, rhs, EnsureOut(arena, inst));
     return;
   }
   if (inst.kind == OpKind::kReshape || inst.kind == OpKind::kTag) {
@@ -150,15 +208,22 @@ void RunSequentialExec(const DeviceProgram& program,
   }
 }
 
-/** Async runtime: one thread per device, rendezvous collectives, and a
- *  semaphore throttling concurrency (same protocol as the interpreter). */
+/**
+ * Async runtime: one body per device, rendezvous collectives, and a
+ * semaphore throttling concurrency (same protocol as the interpreter).
+ * Device bodies run on the persistent worker pool when one is supplied and
+ * idle; otherwise (no pool, pool too small, or another Run holding its
+ * submit lease) each body gets a freshly spawned thread.
+ */
 void RunThreadedExec(const DeviceProgram& program, const RunOptions& options,
-                     std::vector<Arena>& arenas, int max_concurrency) {
+                     std::vector<Arena>& arenas, int max_concurrency,
+                     std::atomic<int64_t>* alloc_sink) {
   const int64_t num_devices = static_cast<int64_t>(arenas.size());
   std::vector<GroupSite> sites(program.num_sites);
   Semaphore throttle(max_concurrency);
 
   auto run_device = [&](int64_t device) {
+    AllocationScope alloc_scope(alloc_sink);
     throttle.Acquire();
     Arena& arena = arenas[device];
     for (const Instruction& inst : program.instructions) {
@@ -182,6 +247,11 @@ void RunThreadedExec(const DeviceProgram& program, const RunOptions& options,
     throttle.Release();
   };
 
+  if (options.pool != nullptr && options.use_pool &&
+      options.pool->num_workers() >= num_devices &&
+      options.pool->TryRun(num_devices, run_device)) {
+    return;
+  }
   std::vector<std::thread> threads;
   threads.reserve(num_devices);
   for (int64_t d = 0; d < num_devices; ++d) {
@@ -195,6 +265,12 @@ void RunThreadedExec(const DeviceProgram& program, const RunOptions& options,
 StatusOr<std::vector<Tensor>> ExecuteCompiled(
     const SpmdModule& spmd, const DeviceProgram& program,
     const std::vector<Tensor>& global_inputs, const RunOptions& options) {
+  std::atomic<int64_t> run_allocs{0};
+  std::atomic<int64_t>* sink = options.stats != nullptr ? &run_allocs : nullptr;
+  // Counts sharding/unsharding on the calling thread too; device threads
+  // install their own scope around the device body.
+  AllocationScope alloc_scope(sink);
+
   const int64_t num_devices = spmd.mesh.NumDevices();
   std::vector<Arena> arenas(
       num_devices, Arena(program.plan.slot_numels.size()));
@@ -213,7 +289,7 @@ StatusOr<std::vector<Tensor>> ExecuteCompiled(
   if (concurrency == 1 || num_devices == 1) {
     RunSequentialExec(program, arenas);
   } else {
-    RunThreadedExec(program, options, arenas, concurrency);
+    RunThreadedExec(program, options, arenas, concurrency, sink);
   }
 
   std::vector<Tensor> outputs;
@@ -225,6 +301,9 @@ StatusOr<std::vector<Tensor>> ExecuteCompiled(
     }
     outputs.push_back(
         UnshardTensor(shards, spmd.output_shardings[i], spmd.mesh));
+  }
+  if (options.stats != nullptr) {
+    options.stats->allocations = run_allocs.load(std::memory_order_relaxed);
   }
   return outputs;
 }

@@ -1,0 +1,123 @@
+#include "src/exec/kernels.h"
+
+#include <algorithm>
+
+#include "src/interp/interpreter.h"
+#include "src/support/check.h"
+
+namespace partir {
+namespace exec {
+
+void RunFusedChain(const FusedChain& chain, const float* in,
+                   const float* const* externals, float* out, int64_t numel) {
+  const ChainStep* steps = chain.steps.data();
+  const size_t num_steps = chain.steps.size();
+  for (int64_t k = 0; k < numel; ++k) {
+    float v = in[k];
+    for (size_t s = 0; s < num_steps; ++s) {
+      const ChainStep& step = steps[s];
+      if (step.external_slot < 0) {
+        v = IsUnaryElementwise(step.kind) ? ApplyUnaryOp(step.kind, v)
+                                          : ApplyBinaryOp(step.kind, v, v);
+      } else {
+        float e = externals[s][k];
+        v = step.carried_lhs ? ApplyBinaryOp(step.kind, v, e)
+                             : ApplyBinaryOp(step.kind, e, v);
+      }
+    }
+    out[k] = v;
+  }
+}
+
+void BlockedDot2dInto(const Tensor& lhs, const Tensor& rhs, Tensor& out) {
+  constexpr int64_t kBlockI = 4;
+  constexpr int64_t kBlockJ = 64;
+  const int64_t rows = lhs.dim(0), inner = lhs.dim(1), cols = rhs.dim(1);
+  const float* a = lhs.data().data();
+  const float* b = rhs.data().data();
+  float* o = out.data().data();
+  double acc[kBlockI][kBlockJ];
+  for (int64_t i0 = 0; i0 < rows; i0 += kBlockI) {
+    const int64_t ni = std::min(kBlockI, rows - i0);
+    for (int64_t j0 = 0; j0 < cols; j0 += kBlockJ) {
+      const int64_t nj = std::min(kBlockJ, cols - j0);
+      for (int64_t ii = 0; ii < ni; ++ii) {
+        for (int64_t jj = 0; jj < nj; ++jj) acc[ii][jj] = 0.0;
+      }
+      // k ascending for every output element: the reference summation
+      // order, with rhs rows read contiguously.
+      for (int64_t k = 0; k < inner; ++k) {
+        const float* bk = b + k * cols + j0;
+        for (int64_t ii = 0; ii < ni; ++ii) {
+          const double aik = static_cast<double>(a[(i0 + ii) * inner + k]);
+          for (int64_t jj = 0; jj < nj; ++jj) {
+            acc[ii][jj] += aik * static_cast<double>(bk[jj]);
+          }
+        }
+      }
+      for (int64_t ii = 0; ii < ni; ++ii) {
+        float* orow = o + (i0 + ii) * cols + j0;
+        for (int64_t jj = 0; jj < nj; ++jj) {
+          orow[jj] = static_cast<float>(acc[ii][jj]);
+        }
+      }
+    }
+  }
+}
+
+namespace {
+
+/** Contiguous elements per index of dims[0..dim-1] x chunk extent. */
+void ChunkGeometry(const std::vector<int64_t>& part_dims, int64_t dim,
+                   int64_t* outer, int64_t* part_block) {
+  *outer = 1;
+  for (int64_t d = 0; d < dim; ++d) *outer *= part_dims[d];
+  *part_block = 1;
+  for (size_t d = dim; d < part_dims.size(); ++d) *part_block *= part_dims[d];
+}
+
+}  // namespace
+
+void PlaceChunkInto(const Tensor& part, int64_t dim, int64_t chunk,
+                    int64_t count, Tensor& out) {
+  int64_t outer, part_block;
+  ChunkGeometry(part.dims(), dim, &outer, &part_block);
+  PARTIR_CHECK(out.size() == part.size() * count) << "tile chunk mismatch";
+  const int64_t out_block = part_block * count;
+  const float* src = part.data().data();
+  float* dst = out.data().data();
+  for (int64_t o = 0; o < outer; ++o) {
+    std::copy(src + o * part_block, src + (o + 1) * part_block,
+              dst + o * out_block + chunk * part_block);
+  }
+}
+
+void SliceChunkInto(const Tensor& in, int64_t dim, int64_t chunk,
+                    int64_t count, Tensor& out) {
+  int64_t outer, out_block;
+  ChunkGeometry(out.dims(), dim, &outer, &out_block);
+  PARTIR_CHECK(in.size() == out.size() * count) << "slice chunk mismatch";
+  const int64_t in_block = out_block * count;
+  const float* src = in.data().data();
+  float* dst = out.data().data();
+  for (int64_t o = 0; o < outer; ++o) {
+    std::copy(src + o * in_block + chunk * out_block,
+              src + o * in_block + (chunk + 1) * out_block,
+              dst + o * out_block);
+  }
+}
+
+void AccumulateInto(const Tensor& part, bool is_max, Tensor& out) {
+  PARTIR_CHECK(part.size() == out.size()) << "accumulate size mismatch";
+  const float* p = part.data().data();
+  float* o = out.data().data();
+  const int64_t n = out.size();
+  if (is_max) {
+    for (int64_t k = 0; k < n; ++k) o[k] = std::max(o[k], p[k]);
+  } else {
+    for (int64_t k = 0; k < n; ++k) o[k] = o[k] + p[k];
+  }
+}
+
+}  // namespace exec
+}  // namespace partir

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The kernel tier below the compiled executor's fused-kernel dispatch:
+ * hand-written loops that cut memory traffic without changing a single
+ * bit of output relative to the reference interpreter.
+ *
+ *  - Fused elementwise chains: a run of consecutive elementwise
+ *    instructions whose intermediates die immediately executes as ONE loop
+ *    over the data, carrying the intermediate in a register. The chain's
+ *    per-element operation order is exactly the unfused order, so outputs
+ *    are bit-identical; intermediates never touch the arena at all (the
+ *    memory planner's slots for them simply stay unwritten).
+ *
+ *  - Blocked rank-2 dot: i/j-tiled matmul whose inner loop walks k in
+ *    ascending order with a double accumulator per output element — the
+ *    exact summation order of the interpreter's EvalDot — but reads rows
+ *    of the rhs contiguously, so blocks stay cache-resident.
+ *
+ *  - Loop-region helpers: strided chunk copy in/out of a tiled dim, and
+ *    in-order elementwise accumulation, matching Tensor::Concat /
+ *    Tensor::Combine fold order for compiled PartIR:Core loops.
+ */
+#ifndef PARTIR_EXEC_KERNELS_H_
+#define PARTIR_EXEC_KERNELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/interp/tensor.h"
+#include "src/ir/op_kind.h"
+
+namespace partir {
+namespace exec {
+
+/** One step of a fused elementwise chain. */
+struct ChainStep {
+  OpKind kind;
+  /**
+   * Binary steps: arena slot of the non-carried operand. -1 for unary
+   * steps and for binary steps whose operands are both the carried value
+   * (e.g. mul(x, x)).
+   */
+  int external_slot = -1;
+  /** Binary steps with an external operand: the carried value is the lhs. */
+  bool carried_lhs = true;
+};
+
+/**
+ * A run of >= 2 consecutive elementwise instructions fused into one loop.
+ * steps[0] consumes the chain input; every intermediate dies at the next
+ * step, so only the final result is written back.
+ */
+struct FusedChain {
+  /** Arena slot of the chain's carried input. */
+  int input_slot = -1;
+  std::vector<ChainStep> steps;
+};
+
+/**
+ * Executes `chain` over `numel` elements. externals[s] is the data pointer
+ * for steps[s]'s external operand (null for carried-only steps). `out` may
+ * alias `in` or any external: element k is fully read before out[k] is
+ * written, and no element is revisited.
+ */
+void RunFusedChain(const FusedChain& chain, const float* in,
+                   const float* const* externals, float* out, int64_t numel);
+
+/**
+ * out[i,j] = sum_k lhs[i,k] * rhs[k,j], blocked over i and j for locality.
+ * Each output element accumulates in double over ascending k — the exact
+ * summation order of the interpreter's EvalDot — so the blocked kernel is
+ * bit-identical to the naive reference loop.
+ */
+void BlockedDot2dInto(const Tensor& lhs, const Tensor& rhs, Tensor& out);
+
+/**
+ * Copies `part` into the `chunk`-th of `count` equal chunks of `out` along
+ * `dim` (the inverse of Tensor::SliceChunk): how a compiled #tile loop
+ * writes one iteration's yield into the assembled result.
+ */
+void PlaceChunkInto(const Tensor& part, int64_t dim, int64_t chunk,
+                    int64_t count, Tensor& out);
+
+/**
+ * Extracts the `chunk`-th of `count` equal chunks of `in` along `dim` into
+ * `out` (same semantics as Tensor::SliceChunk, reusing out's buffer).
+ */
+void SliceChunkInto(const Tensor& in, int64_t dim, int64_t chunk,
+                    int64_t count, Tensor& out);
+
+/**
+ * out[k] = out[k] + part[k] (or max with `is_max`), in ascending element
+ * order — the fold order of Tensor::Combine, which keeps compiled #sum
+ * loops bit-identical to the interpreter's accumulation.
+ */
+void AccumulateInto(const Tensor& part, bool is_max, Tensor& out);
+
+}  // namespace exec
+}  // namespace partir
+
+#endif  // PARTIR_EXEC_KERNELS_H_

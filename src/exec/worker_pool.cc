@@ -1,0 +1,91 @@
+#include "src/exec/worker_pool.h"
+
+#include <atomic>
+
+#include "src/support/check.h"
+
+namespace partir {
+namespace exec {
+namespace {
+
+std::atomic<int64_t> pool_threads_created{0};
+
+}  // namespace
+
+WorkerPool::WorkerPool(int64_t num_workers) {
+  PARTIR_CHECK(num_workers >= 1) << "worker pool needs at least one worker";
+  workers_.reserve(num_workers);
+  for (int64_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  pool_threads_created.fetch_add(num_workers, std::memory_order_relaxed);
+}
+
+WorkerPool::~WorkerPool() {
+  // Taking the submission lease guarantees no job is in flight; workers are
+  // all idle in wait() and observe stop_ on wakeup.
+  std::lock_guard<std::mutex> submit(submit_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void WorkerPool::Run(int64_t n, const std::function<void(int64_t)>& fn) {
+  std::lock_guard<std::mutex> submit(submit_mu_);
+  RunLocked(n, fn);
+}
+
+bool WorkerPool::TryRun(int64_t n, const std::function<void(int64_t)>& fn) {
+  std::unique_lock<std::mutex> submit(submit_mu_, std::try_to_lock);
+  if (!submit.owns_lock()) return false;
+  RunLocked(n, fn);
+  return true;
+}
+
+void WorkerPool::RunLocked(int64_t n, const std::function<void(int64_t)>& fn) {
+  PARTIR_CHECK(n >= 0 && n <= num_workers())
+      << "job of size " << n << " on a pool of " << num_workers();
+  if (n == 0) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  job_ = &fn;
+  job_size_ = n;
+  remaining_ = num_workers();
+  ++generation_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [&] { return remaining_ == 0; });
+  job_ = nullptr;
+}
+
+void WorkerPool::WorkerLoop(int64_t index) {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int64_t)>* job = nullptr;
+    int64_t size = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+      size = job_size_;
+    }
+    if (index < size) (*job)(index);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --remaining_;
+    }
+    // Every worker checks in once per generation (those beyond the job
+    // size immediately), so the submitter wakes exactly when drained.
+    done_cv_.notify_one();
+  }
+}
+
+int64_t WorkerPool::threads_created() {
+  return pool_threads_created.load(std::memory_order_relaxed);
+}
+
+}  // namespace exec
+}  // namespace partir

@@ -227,6 +227,8 @@ Tensor EvalConvFilterGrad(const Operation& op, const Tensor& gout,
 
 class Interpreter {
  public:
+  explicit Interpreter(Env& env) : env_(env) {}
+
   const Tensor& Lookup(const Value* value) const {
     auto it = env_.find(value);
     PARTIR_CHECK(it != env_.end()) << "value not in environment";
@@ -317,10 +319,14 @@ class Interpreter {
   }
 
  private:
-  Env env_;
+  Env& env_;
 };
 
 }  // namespace
+
+void EvalOpInEnv(const Operation& op, Env& env) {
+  Interpreter(env).Execute(op);
+}
 
 std::vector<Tensor> EvalOp(const Operation& op,
                            const std::vector<Tensor>& operands) {
@@ -452,7 +458,8 @@ std::vector<Tensor> Evaluate(const Func& func,
                              const std::vector<Tensor>& inputs) {
   PARTIR_CHECK(static_cast<int>(inputs.size()) == func.body().num_args())
       << "input arity mismatch";
-  Interpreter interp;
+  Env env;
+  Interpreter interp(env);
   for (int i = 0; i < func.body().num_args(); ++i) {
     PARTIR_CHECK(func.body().arg(i)->type().IsTensor());
     PARTIR_CHECK(inputs[i].dims() == func.body().arg(i)->tensor_type().dims())

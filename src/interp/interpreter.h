@@ -32,6 +32,14 @@ std::vector<Tensor> EvalOpRef(const Operation& op,
                               const std::vector<const Tensor*>& operands);
 
 /**
+ * Evaluates one op — including PartIR:Core region ops (loop / slice, with
+ * the sequential loop semantics of Figure 13) — against an external
+ * environment: how the SPMD interpreter executes partially-lowered
+ * device-local programs that still carry loop regions.
+ */
+void EvalOpInEnv(const Operation& op, Env& env);
+
+/**
  * Scalar kernels of the unary / binary elementwise ops. Shared by the
  * reference interpreter and the compiled executor so the two backends stay
  * bit-identical by construction.

@@ -6,6 +6,29 @@ namespace partir {
 
 std::atomic<int64_t> Tensor::allocations_{0};
 
+namespace {
+thread_local std::atomic<int64_t>* tls_allocation_sink = nullptr;
+}  // namespace
+
+void Tensor::RecordAllocation() {
+  allocations_.fetch_add(1, std::memory_order_relaxed);
+  if (tls_allocation_sink != nullptr) {
+    tls_allocation_sink->fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+AllocationScope::AllocationScope(std::atomic<int64_t>* sink)
+    : active_(sink != nullptr), saved_(nullptr) {
+  if (active_) {
+    saved_ = tls_allocation_sink;
+    tls_allocation_sink = sink;
+  }
+}
+
+AllocationScope::~AllocationScope() {
+  if (active_) tls_allocation_sink = saved_;
+}
+
 Tensor Tensor::SliceChunk(int64_t dim, int64_t chunk, int64_t count) const {
   PARTIR_CHECK(dims_.at(dim) % count == 0) << "chunk count must divide dim";
   PARTIR_CHECK(chunk >= 0 && chunk < count);

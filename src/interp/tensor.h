@@ -25,7 +25,7 @@ class Tensor {
   explicit Tensor(std::vector<int64_t> dims, float fill = 0.0f)
       : dims_(std::move(dims)),
         data_(NumElementsOf(dims_), fill) {
-    allocations_.fetch_add(1, std::memory_order_relaxed);
+    RecordAllocation();
   }
   Tensor(std::vector<int64_t> dims, std::vector<float> data)
       : dims_(std::move(dims)), data_(std::move(data)) {
@@ -116,10 +116,36 @@ class Tensor {
   }
 
  private:
+  friend class AllocationScope;
+
+  /** Bumps the process-wide counter and the calling thread's scope sink. */
+  static void RecordAllocation();
+
   static std::atomic<int64_t> allocations_;
 
   std::vector<int64_t> dims_;
   std::vector<float> data_;
+};
+
+/**
+ * RAII: while alive, fresh-buffer constructions on *this thread* are also
+ * counted into `sink` (the process-wide counter keeps counting). The SPMD
+ * runtimes install one per device thread per Run, so RunStats::allocations
+ * attributes traffic to a single Run even when Runs race in other threads
+ * (the process-wide counter alone cannot). A null sink is a no-op that
+ * leaves any enclosing scope in effect.
+ */
+class AllocationScope {
+ public:
+  explicit AllocationScope(std::atomic<int64_t>* sink);
+  ~AllocationScope();
+
+  AllocationScope(const AllocationScope&) = delete;
+  AllocationScope& operator=(const AllocationScope&) = delete;
+
+ private:
+  bool active_;
+  std::atomic<int64_t>* saved_;
 };
 
 /** Iterates all multi-indices of a shape, calling fn on each. */

@@ -1,6 +1,7 @@
 #include "src/spmd/spmd_interpreter.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <deque>
 #include <map>
@@ -9,6 +10,7 @@
 
 #include "src/exec/device_program.h"
 #include "src/exec/executor.h"
+#include "src/exec/worker_pool.h"
 #include "src/interp/interpreter.h"
 #include "src/spmd/collectives.h"
 #include "src/spmd/rendezvous.h"
@@ -69,6 +71,12 @@ Status ValidateSpmdInputs(const SpmdModule& spmd,
 
 /** Evaluates a device-local (non-collective) op into `env`. */
 void EvalLocalOp(const Operation& op, Env& env) {
+  if (op.num_regions() > 0) {
+    // PartIR:Core loop still in the device-local program: the reference
+    // interpreter's sequential loop semantics, against this device's env.
+    EvalOpInEnv(op, env);
+    return;
+  }
   std::vector<Tensor> operands;
   operands.reserve(op.operands().size());
   for (const Value* operand : op.operands()) {
@@ -123,9 +131,9 @@ class ThreadedRunner {
  public:
   ThreadedRunner(const SpmdModule& spmd, const CollectivePlan& plan,
                  const RunOptions& options, std::vector<Env>& envs,
-                 int max_concurrency)
+                 int max_concurrency, std::atomic<int64_t>* alloc_sink)
       : spmd_(spmd), plan_(plan), options_(options), envs_(envs),
-        throttle_(max_concurrency) {
+        throttle_(max_concurrency), alloc_sink_(alloc_sink) {
     for (const auto& op : spmd_.main()->body().ops()) {
       auto it = plan_.ops.find(op.get());
       if (it == plan_.ops.end()) continue;
@@ -141,6 +149,14 @@ class ThreadedRunner {
 
   void Run() {
     int64_t num_devices = spmd_.mesh.NumDevices();
+    // Prefer the executable's persistent worker pool; fall back to spawning
+    // when there is none, it is too small, or a concurrent Run holds it.
+    if (options_.pool != nullptr && options_.use_pool &&
+        options_.pool->num_workers() >= num_devices &&
+        options_.pool->TryRun(num_devices,
+                              [this](int64_t d) { RunDevice(d); })) {
+      return;
+    }
     std::vector<std::thread> threads;
     threads.reserve(num_devices);
     for (int64_t d = 0; d < num_devices; ++d) {
@@ -151,6 +167,7 @@ class ThreadedRunner {
 
  private:
   void RunDevice(int64_t device) {
+    AllocationScope alloc_scope(alloc_sink_);
     throttle_.Acquire();
     Env& env = envs_[device];
     for (const auto& op : spmd_.main()->body().ops()) {
@@ -180,6 +197,7 @@ class ThreadedRunner {
   const RunOptions& options_;
   std::vector<Env>& envs_;
   Semaphore throttle_;
+  std::atomic<int64_t>* alloc_sink_;
   // One rendezvous per replica group per collective op, indexed by the
   // group index of CollectiveOp::groups.
   std::map<const Operation*, std::deque<GroupSite>> sites_;
@@ -265,6 +283,12 @@ StatusOr<std::vector<Tensor>> RunSpmd(const SpmdModule& spmd,
     }
     return exec::ExecuteCompiled(spmd, *program, global_inputs, options);
   }
+  std::atomic<int64_t> run_allocs{0};
+  std::atomic<int64_t>* sink = options.stats != nullptr ? &run_allocs : nullptr;
+  // Counts sharding/unsharding on the calling thread; device threads install
+  // their own scope in RunDevice.
+  AllocationScope alloc_scope(sink);
+
   // Normally precomputed right after collective optimization; modules built
   // by hand (or mutated through mutable_spmd) are planned here.
   std::shared_ptr<const CollectivePlan> local_plan = spmd.plan;
@@ -295,7 +319,7 @@ StatusOr<std::vector<Tensor>> RunSpmd(const SpmdModule& spmd,
   if (concurrency == 1 || num_devices == 1) {
     RunSequential(spmd, *local_plan, envs);
   } else {
-    ThreadedRunner(spmd, *local_plan, options, envs, concurrency).Run();
+    ThreadedRunner(spmd, *local_plan, options, envs, concurrency, sink).Run();
   }
 
   const Operation* ret = func.body().terminator();
@@ -308,6 +332,9 @@ StatusOr<std::vector<Tensor>> RunSpmd(const SpmdModule& spmd,
     }
     outputs.push_back(
         UnshardTensor(shards, spmd.output_shardings[i], spmd.mesh));
+  }
+  if (options.stats != nullptr) {
+    options.stats->allocations = run_allocs.load(std::memory_order_relaxed);
   }
   return outputs;
 }

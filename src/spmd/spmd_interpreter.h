@@ -33,8 +33,23 @@
 
 namespace partir {
 
+namespace exec {
+class WorkerPool;
+}  // namespace exec
+
 /** Per-device tensors, indexed by linear device id. */
 using PerDevice = std::vector<Tensor>;
+
+/** Per-Run statistics, filled when RunOptions::stats is set. */
+struct RunStats {
+  /**
+   * Fresh tensor-buffer constructions performed by this Run, counted on the
+   * calling thread and every device thread it drives. Unlike the process-
+   * wide Tensor::allocations() counter, concurrent Runs do not bleed into
+   * each other's counts.
+   */
+  int64_t allocations = 0;
+};
 
 /** Which execution engine drives the device-local programs. */
 enum class ExecBackend {
@@ -72,6 +87,18 @@ struct RunOptions {
    * identically.
    */
   ExecBackend backend = ExecBackend::kInterpret;
+  /**
+   * Persistent device worker pool (exec/worker_pool.h). When non-null,
+   * `use_pool` is true, and the pool has at least one worker per device,
+   * the threaded runtimes dispatch device bodies onto the pool's resident
+   * threads instead of spawning a fresh std::thread per device per Run.
+   * If the pool is busy (another Run holds its submit lease), execution
+   * falls back to spawning, so concurrent Runs stay correct.
+   */
+  exec::WorkerPool* pool = nullptr;
+  bool use_pool = true;
+  /** When non-null, filled with this Run's statistics. */
+  RunStats* stats = nullptr;
 };
 
 /** Slices a global tensor into per-device shards per the sharding. */

@@ -10,6 +10,7 @@
 
 #include "src/api/partir.h"
 #include "src/exec/device_program.h"
+#include "src/exec/worker_pool.h"
 #include "src/ir/builder.h"
 #include "src/models/gns.h"
 #include "src/models/schedules.h"
@@ -214,16 +215,21 @@ TEST(ExecBackendTest, MutableAccessDropsProgramAndAdHocCompileStillAgrees) {
   ExpectBackendsAgree(exe, program.RandomInputs(3), "after invalidation");
 }
 
-TEST(ExecBackendTest, CacheHitClonesCarryARecompiledProgram) {
+TEST(ExecBackendTest, CacheHitClonesShareTheCompiledProgram) {
   Program program = BuildChainProgram(8, 8, 8);
   Mesh mesh({{"B", 4}});
   std::vector<Tactic> schedule = {ManualPartition{"BP", {{"x", 0}}, "B"}};
   Executable first = program.Partition(schedule, mesh).value();
-  // Same schedule again: a cache hit, deep-cloned. Its program must be
-  // present, point at the clone's own ops, and execute identically.
+  // Same schedule again: a cache hit, deep-cloned. The compiled program is
+  // immutable, so the clone shares it — present, identical to the
+  // original's, and produced with ZERO additional compilations.
+  int64_t compiles_before = exec::CompiledProgramCount();
   Executable second = first.Respecialize(schedule).value();
+  EXPECT_EQ(exec::CompiledProgramCount(), compiles_before)
+      << "a cache hit recompiled the device program";
   ASSERT_NE(second.spmd().exec_program, nullptr);
-  EXPECT_NE(second.spmd().exec_program, first.spmd().exec_program);
+  EXPECT_EQ(second.spmd().exec_program.get(), first.spmd().exec_program.get())
+      << "cache-hit clones should share one immutable program";
   std::vector<Tensor> inputs = program.RandomInputs(4);
   ExpectBackendsAgree(second, inputs, "cache-hit clone");
   RunOptions compiled;
@@ -231,6 +237,242 @@ TEST(ExecBackendTest, CacheHitClonesCarryARecompiledProgram) {
   ExpectBitIdentical(first.Run(inputs, compiled).value(),
                      second.Run(inputs, compiled).value(),
                      "clone vs original");
+  // Mutable access drops the shared program without touching the
+  // original's, and the next compiled Run still agrees bit-for-bit.
+  second.mutable_spmd();
+  EXPECT_EQ(second.spmd().exec_program, nullptr);
+  ASSERT_NE(first.spmd().exec_program, nullptr);
+  ExpectBackendsAgree(second, inputs, "mutated clone");
+}
+
+// ---- Kernel tier: fused elementwise chains ----
+
+TEST(ExecBackendTest, ElementwiseChainsFuseAndStayBitIdentical) {
+  Program program("elementwise");
+  Value* x = program.AddInput(TensorType({32, 16}), "x");
+  Value* y = program.AddInput(TensorType({32, 16}), "y");
+  OpBuilder& builder = program.builder();
+  // A long run of elementwise ops whose intermediates all die immediately:
+  // unary, carried-lhs binary, carried-rhs binary, and both-carried forms.
+  Value* a = builder.Add(x, y);
+  Value* b = builder.Mul(a, a);
+  Value* c = builder.Tanh(b);
+  Value* d = builder.Sub(y, c);
+  Value* e = builder.Max(d, x);
+  program.Return({builder.Exp(e)});
+  Mesh mesh({{"B", 4}});
+  Executable exe =
+      program.Partition({ManualPartition{"BP", {{"x", 0}, {"y", 0}}, "B"}},
+                        mesh)
+          .value();
+  exec::MemoryStats stats = exe.memory_stats().value();
+  EXPECT_GE(stats.fused_chains, 1) << "no elementwise chain was fused";
+  EXPECT_GE(stats.fused_instructions, 2 * stats.fused_chains);
+  ExpectBackendsAgree(exe, program.RandomInputs(41), "fused chain");
+}
+
+// ---- Compiled PartIR:Core loop regions ----
+
+// A device-local module still carrying loop regions (tile with slices, a
+// nested tile inside a sum, and an elementwise tail in a body) must compile
+// — no interpreter fallback — and agree bit-for-bit with the op-walking
+// interpreter in every threading mode.
+TEST(ExecBackendTest, LoopRegionModulesCompileAndAgree) {
+  Mesh mesh({{"B", 2}});
+  SpmdModule spmd;
+  spmd.module = std::make_unique<Module>();
+  spmd.mesh = mesh;
+  Func* func = spmd.module->AddFunc("main");
+  Value* xa = func->body().AddArg(TensorType({8, 4}), "x");
+  Value* wa = func->body().AddArg(TensorType({4, 6}), "w");
+  OpBuilder builder(&func->body());
+
+  // tile loop: slice x along dim 0, matmul, elementwise tail in the body.
+  Operation* tile = builder.Loop("T", 4, "tile", 0, TensorType({8, 6}));
+  {
+    Block& body = tile->region(0).block();
+    OpBuilder inner(&body);
+    Value* xs = inner.PSlice(xa, body.arg(0), 0);
+    Value* h = inner.MatMul(xs, wa);
+    inner.Yield(&body, {inner.Tanh(inner.Mul(h, h))});
+  }
+
+  // sum loop with a nested tile loop: exercises recursive compilation and
+  // per-iteration slot reuse two regions deep.
+  Operation* sum = builder.Loop("S", 2, "sum", -1, TensorType({8, 6}));
+  {
+    Block& sbody = sum->region(0).block();
+    OpBuilder sinner(&sbody);
+    Operation* nested = sinner.Loop("N", 2, "tile", 1, TensorType({8, 6}));
+    Block& nbody = nested->region(0).block();
+    OpBuilder ninner(&nbody);
+    Value* part = ninner.PSlice(tile->result(), nbody.arg(0), 1);
+    ninner.Yield(&nbody, {ninner.Exp(part)});
+    sinner.Yield(&sbody, {sinner.Mul(nested->result(), nested->result())});
+  }
+
+  // any loop: evaluates a single iteration.
+  Operation* any = builder.Loop("A", 2, "any", -1, TensorType({8, 6}));
+  {
+    Block& abody = any->region(0).block();
+    OpBuilder ainner(&abody);
+    ainner.Yield(&abody, {sum->result()});
+  }
+  builder.Return({tile->result(), any->result()});
+  ValueSharding replicated{AxesPerDim{{}, {}}};
+  spmd.input_shardings = {replicated, replicated};
+  spmd.output_shardings = {replicated, replicated};
+
+  // The whole point: this module compiles instead of erroring out.
+  ASSERT_TRUE(exec::CompileDeviceProgram(spmd).ok());
+
+  std::vector<Tensor> inputs = {Tensor::Random({8, 4}, 51),
+                                Tensor::Random({4, 6}, 52)};
+  RunOptions sequential;
+  sequential.num_threads = 1;
+  std::vector<Tensor> want = RunSpmd(spmd, inputs, sequential).value();
+  for (int num_threads : {1, 0}) {
+    RunOptions compiled;
+    compiled.num_threads = num_threads;
+    compiled.backend = ExecBackend::kCompiled;
+    ExpectBitIdentical(RunSpmd(spmd, inputs, compiled).value(), want,
+                       "loop region (threads=" +
+                           std::to_string(num_threads) + ")");
+  }
+  // The threaded interpreter walks the same loops per device.
+  ExpectBitIdentical(RunSpmd(spmd, inputs, {}).value(), want,
+                     "loop region threaded interpreter");
+}
+
+// ---- Persistent worker pool ----
+
+TEST(ExecBackendTest, PersistentPoolStopsSpawningThreadsAcrossRuns) {
+  Program program = BuildChainProgram(16, 8, 8);
+  Mesh mesh({{"B", 4}});
+  Executable exe =
+      program.Partition({ManualPartition{"BP", {{"x", 0}}, "B"}}, mesh)
+          .value();
+  std::vector<Tensor> inputs = program.RandomInputs(61);
+  RunOptions sequential;
+  sequential.num_threads = 1;
+  std::vector<Tensor> want = exe.Run(inputs, sequential).value();
+
+  RunOptions compiled;
+  compiled.backend = ExecBackend::kCompiled;
+  // The first threaded Run creates the executable's pool...
+  ExpectBitIdentical(exe.Run(inputs, compiled).value(), want, "first run");
+  int64_t created = exec::WorkerPool::threads_created();
+  // ...and 1000 back-to-back Runs reuse its resident workers: the
+  // process-wide thread-creation count must not move.
+  for (int r = 0; r < 1000; ++r) {
+    ASSERT_TRUE(exe.Run(inputs, compiled).ok());
+  }
+  // The threaded interpreter backend drives the same pool.
+  ExpectBitIdentical(exe.Run(inputs, {}).value(), want, "interpreter run");
+  EXPECT_EQ(exec::WorkerPool::threads_created(), created)
+      << "pooled Runs spawned fresh pool threads";
+  ExpectBitIdentical(exe.Run(inputs, compiled).value(), want, "last run");
+}
+
+TEST(ExecBackendTest, TwoExecutablesDriveIndependentPools) {
+  Program program_a = BuildChainProgram(16, 8, 8);
+  Program program_b = BuildChainProgram(8, 4, 4);
+  Mesh mesh({{"B", 4}});
+  Executable a =
+      program_a.Partition({ManualPartition{"BP", {{"x", 0}}, "B"}}, mesh)
+          .value();
+  Executable b =
+      program_b.Partition({ManualPartition{"BP", {{"x", 0}}, "B"}}, mesh)
+          .value();
+  std::vector<Tensor> inputs_a = program_a.RandomInputs(62);
+  std::vector<Tensor> inputs_b = program_b.RandomInputs(63);
+  RunOptions sequential;
+  sequential.num_threads = 1;
+  std::vector<Tensor> want_a = a.Run(inputs_a, sequential).value();
+  std::vector<Tensor> want_b = b.Run(inputs_b, sequential).value();
+  RunOptions compiled;
+  compiled.backend = ExecBackend::kCompiled;
+  // Warm both pools, then interleave: neither executable's Runs may spawn.
+  ASSERT_TRUE(a.Run(inputs_a, compiled).ok());
+  ASSERT_TRUE(b.Run(inputs_b, compiled).ok());
+  int64_t created = exec::WorkerPool::threads_created();
+  for (int r = 0; r < 50; ++r) {
+    ExpectBitIdentical(a.Run(inputs_a, compiled).value(), want_a, "a");
+    ExpectBitIdentical(b.Run(inputs_b, compiled).value(), want_b, "b");
+  }
+  EXPECT_EQ(exec::WorkerPool::threads_created(), created);
+}
+
+TEST(ExecBackendTest, RespecializeWhilePoolIsLive) {
+  Program program = BuildChainProgram(16, 8, 8);
+  Mesh mesh({{"B", 4}, {"M", 2}});
+  Executable first =
+      program.Partition({ManualPartition{"BP", {{"x", 0}}, "B"}}, mesh)
+          .value();
+  std::vector<Tensor> inputs = program.RandomInputs(64);
+  RunOptions compiled;
+  compiled.backend = ExecBackend::kCompiled;
+  // Warm the first executable's pool, then respecialize while it is live:
+  // the new executable gets its own pool and both keep running.
+  ASSERT_TRUE(first.Run(inputs, compiled).ok());
+  Executable second =
+      first.Respecialize({ManualPartition{"MP", {{"w1", 1}}, "M"}}).value();
+  RunOptions sequential;
+  sequential.num_threads = 1;
+  ExpectBitIdentical(second.Run(inputs, compiled).value(),
+                     second.Run(inputs, sequential).value(),
+                     "respecialized while pool live");
+  ExpectBitIdentical(first.Run(inputs, compiled).value(),
+                     first.Run(inputs, sequential).value(),
+                     "original after respecialize");
+}
+
+TEST(ExecBackendTest, UsePoolFalseStillAgrees) {
+  Program program = BuildChainProgram(16, 8, 8);
+  Mesh mesh({{"B", 4}});
+  Executable exe =
+      program.Partition({ManualPartition{"BP", {{"x", 0}}, "B"}}, mesh)
+          .value();
+  std::vector<Tensor> inputs = program.RandomInputs(65);
+  RunOptions pooled;
+  pooled.backend = ExecBackend::kCompiled;
+  RunOptions spawning = pooled;
+  spawning.use_pool = false;
+  ExpectBitIdentical(exe.Run(inputs, pooled).value(),
+                     exe.Run(inputs, spawning).value(),
+                     "pool vs spawn");
+}
+
+// ---- Per-run allocation statistics ----
+
+TEST(ExecBackendTest, RunStatsCountAllocationsPerRun) {
+  Program program = BuildChainProgram(16, 8, 8);
+  Mesh mesh({{"B", 4}});
+  Executable exe =
+      program.Partition({ManualPartition{"BP", {{"x", 0}}, "B"}}, mesh)
+          .value();
+  std::vector<Tensor> inputs = program.RandomInputs(66);
+
+  RunOptions compiled;
+  compiled.backend = ExecBackend::kCompiled;
+  RunStats stats;
+  compiled.stats = &stats;
+  ASSERT_TRUE(exe.Run(inputs, compiled).ok());
+  EXPECT_GT(stats.allocations, 0);
+  int64_t first_run = stats.allocations;
+  // Identical Runs allocate identically: per-run counting is deterministic,
+  // unlike deltas of the process-wide counter under concurrency.
+  ASSERT_TRUE(exe.Run(inputs, compiled).ok());
+  EXPECT_EQ(stats.allocations, first_run);
+  // The executable reports its latest Run's count through memory_stats().
+  exec::MemoryStats mem = exe.memory_stats().value();
+  EXPECT_EQ(mem.last_run_allocations, first_run);
+
+  // The interpreter backend fills the same stats.
+  RunOptions interpret;
+  interpret.stats = &stats;
+  ASSERT_TRUE(exe.Run(inputs, interpret).ok());
+  EXPECT_GT(stats.allocations, 0);
 }
 
 // ---- Batcher smoke on the compiled backend ----

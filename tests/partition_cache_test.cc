@@ -10,6 +10,7 @@
 
 #include "src/api/partir.h"
 #include "src/api/partition_cache.h"
+#include "src/exec/device_program.h"
 #include "src/ir/fingerprint.h"
 #include "src/support/mpmc_queue.h"
 
@@ -64,7 +65,11 @@ TEST(PartitionCacheTest, RepeatedPartitionIsAHit) {
   EXPECT_EQ(stats.misses, 1);
   EXPECT_EQ(stats.entries, 1);
 
+  // A hit performs zero device-program compilations: the clone shares the
+  // cached entry's immutable compiled program.
+  int64_t compiles_before = exec::CompiledProgramCount();
   Executable second = program.Partition(BpSchedule(), mesh).value();
+  EXPECT_EQ(exec::CompiledProgramCount(), compiles_before);
   stats = program.cache_stats();
   EXPECT_EQ(stats.hits, 1);
   EXPECT_EQ(stats.misses, 1);
