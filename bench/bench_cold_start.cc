@@ -162,6 +162,7 @@ const serving::ServeWorkload* FindWorkload(
 int main(int argc, char** argv) {
   std::string cache_dir;
   std::string mode = "full";  // full | compile | warm
+  std::string save_result;    // SaveResult artifact for tools/partir_lint
   bool enforce_floor = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--cache-dir") == 0 && i + 1 < argc) {
@@ -170,10 +171,12 @@ int main(int argc, char** argv) {
       mode = argv[++i];
     } else if (std::strcmp(argv[i], "--enforce-floor") == 0) {
       enforce_floor = true;
+    } else if (std::strcmp(argv[i], "--save-result") == 0 && i + 1 < argc) {
+      save_result = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--cache-dir DIR] [--mode full|compile|warm] "
-                   "[--enforce-floor]\n",
+                   "[--enforce-floor] [--save-result PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -187,6 +190,17 @@ int main(int argc, char** argv) {
   const std::vector<serving::ServeWorkload> workloads =
       serving::AllServeWorkloads();
   const serving::ServeWorkload* chain = FindWorkload(workloads, "matmul_chain");
+
+  if (!save_result.empty()) {
+    // Save one partitioned result in the SaveResult entry format so the CI
+    // lint step has a real artifact to analyze.
+    Program program = Program::Capture(chain->build, /*batch=*/4);
+    StatusOr<Executable> exe =
+        program.Partition(chain->schedule, chain->mesh);
+    if (!exe.ok()) PARTIR_FATAL() << exe.status().ToString();
+    Status saved = exe.value().SaveResult(save_result);
+    if (!saved.ok()) PARTIR_FATAL() << saved.ToString();
+  }
 
   if (mode == "compile") {
     // Process A of the two-process protocol: populate the disk cache with

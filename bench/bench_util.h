@@ -154,6 +154,9 @@ inline void PrintPipelineStatsJson(const std::string& bench,
       .Key("total_ms").Value(stats.total_seconds * 1e3)
       .Key("verify_runs").Value(stats.verify_runs)
       .Key("verify_ms").Value(stats.verify_seconds * 1e3)
+      .Key("analysis_checkers").Value(stats.analysis_checkers)
+      .Key("analysis_errors").Value(stats.analysis_errors)
+      .Key("analysis_warnings").Value(stats.analysis_warnings)
       .Key("passes").BeginArray();
   for (const PassStats& pass : stats.passes) {
     json.BeginObject()

@@ -1,0 +1,56 @@
+#include "src/analysis/dataflow.h"
+
+namespace partir {
+namespace analysis {
+
+Liveness ComputeLiveness(const Block& block) {
+  Liveness live;
+  if (block.num_ops() == 0) return live;
+  live.num_instructions = block.num_ops() - 1;  // terminator excluded
+
+  auto add = [&](const Value* value, int def) {
+    LiveInterval interval;
+    interval.value = value;
+    interval.def = def;
+    interval.last_use = def;  // never-read values keep last_use == def
+    live.index[value] = static_cast<int>(live.intervals.size());
+    live.intervals.push_back(interval);
+  };
+  for (const auto& arg : block.args()) add(arg.get(), -1);
+  for (int i = 0; i < live.num_instructions; ++i) {
+    const Operation& op = *block.ops()[i];
+    for (int r = 0; r < op.num_results(); ++r) add(op.result(r), i);
+  }
+
+  // A read at index i is either a direct operand or a block-owned value
+  // referenced anywhere inside the op's nested regions (the planner's
+  // CollectReads): the region op keeps its free values live while it runs.
+  auto mark = [&](const Value* value, int i) {
+    auto it = live.index.find(value);
+    if (it == live.index.end()) return;  // not owned by this block
+    LiveInterval& interval = live.intervals[it->second];
+    if (i > interval.last_use) interval.last_use = i;
+  };
+  for (int i = 0; i < live.num_instructions; ++i) {
+    const Operation& op = *block.ops()[i];
+    for (const Value* operand : op.operands()) mark(operand, i);
+    for (int r = 0; r < op.num_regions(); ++r) {
+      WalkOps(op.region(r).block(), [&](const Operation& inner) {
+        for (const Value* operand : inner.operands()) mark(operand, i);
+      });
+    }
+  }
+
+  const Operation* terminator = block.ops().back().get();
+  for (const Value* operand : terminator->operands()) {
+    auto it = live.index.find(operand);
+    if (it == live.index.end()) continue;
+    LiveInterval& interval = live.intervals[it->second];
+    interval.last_use = live.num_instructions;
+    interval.returned = true;
+  }
+  return live;
+}
+
+}  // namespace analysis
+}  // namespace partir

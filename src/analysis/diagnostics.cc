@@ -1,0 +1,98 @@
+#include "src/analysis/diagnostics.h"
+
+#include "src/support/str_util.h"
+
+namespace partir {
+namespace analysis {
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kNote: return "note";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out = StrCat(SeverityName(severity), "[", checker_id, "]");
+  if (!location.empty()) out = StrCat(out, " at ", location);
+  out = StrCat(out, ": ", message);
+  for (const std::string& note : notes) {
+    out = StrCat(out, "\n  note: ", note);
+  }
+  return out;
+}
+
+Diagnostic& AnalysisReport::Add(Severity severity, std::string checker_id,
+                                std::string location, std::string message) {
+  Diagnostic diag;
+  diag.severity = severity;
+  diag.checker_id = std::move(checker_id);
+  diag.location = std::move(location);
+  diag.message = std::move(message);
+  diagnostics.push_back(std::move(diag));
+  return diagnostics.back();
+}
+
+Diagnostic& AnalysisReport::Error(std::string checker_id, std::string location,
+                                  std::string message) {
+  return Add(Severity::kError, std::move(checker_id), std::move(location),
+             std::move(message));
+}
+
+Diagnostic& AnalysisReport::Warning(std::string checker_id,
+                                    std::string location,
+                                    std::string message) {
+  return Add(Severity::kWarning, std::move(checker_id), std::move(location),
+             std::move(message));
+}
+
+Diagnostic& AnalysisReport::Note(std::string checker_id, std::string location,
+                                 std::string message) {
+  return Add(Severity::kNote, std::move(checker_id), std::move(location),
+             std::move(message));
+}
+
+int64_t AnalysisReport::errors() const {
+  int64_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kError) ++n;
+  }
+  return n;
+}
+
+int64_t AnalysisReport::warnings() const {
+  int64_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kWarning) ++n;
+  }
+  return n;
+}
+
+bool AnalysisReport::HasChecker(const std::string& checker_id) const {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.checker_id == checker_id) return true;
+  }
+  return false;
+}
+
+void AnalysisReport::Merge(const AnalysisReport& other) {
+  diagnostics.insert(diagnostics.end(), other.diagnostics.begin(),
+                     other.diagnostics.end());
+  checkers_run.insert(checkers_run.end(), other.checkers_run.begin(),
+                      other.checkers_run.end());
+}
+
+std::string AnalysisReport::ToString() const {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    out = StrCat(out, d.ToString(), "\n");
+  }
+  out = StrCat(out, "analysis: ", checkers_run.size(), " checker(s), ",
+               errors(), " error(s), ", warnings(), " warning(s)\n");
+  return out;
+}
+
+}  // namespace analysis
+}  // namespace partir

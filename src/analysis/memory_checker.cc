@@ -1,0 +1,431 @@
+#include "src/analysis/memory_checker.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/analysis/dataflow.h"
+#include "src/support/str_util.h"
+
+namespace partir {
+namespace analysis {
+namespace {
+
+constexpr char kMemory[] = "memory-plan";
+constexpr char kExec[] = "exec-program";
+
+int64_t NumelOf(const Value* value) {
+  return value->type().IsTensor() ? value->tensor_type().NumElements() : 1;
+}
+
+std::string ValueLoc(const Value* value) {
+  return StrCat("value '%", value->name(), "'");
+}
+
+/** One slot occupancy to cross-check: which scope, over which window. */
+struct Occupancy {
+  const exec::ValuePlan* vp = nullptr;
+  /** 0 = top level; each region block instance gets a unique id. */
+  int block_id = 0;
+  /** Occupied window in the block's own instruction indexing. */
+  int start = 0;
+  int end = 0;
+};
+
+}  // namespace
+
+void CheckMemoryPlan(const Func& func, const exec::MemoryPlan& plan,
+                     AnalysisReport& report) {
+  report.checkers_run.push_back("memory-plan");
+  const Block& body = func.body();
+  if (body.num_ops() == 0 || body.terminator()->kind() != OpKind::kReturn) {
+    report.Error(kMemory, StrCat("function '", func.name(), "'"),
+                 "body is empty or not terminated by a return");
+    return;
+  }
+
+  const int num_slots = static_cast<int>(plan.slot_numels.size());
+  auto find_plan = [&](const Value* value) -> const exec::ValuePlan* {
+    auto it = plan.index.find(value);
+    if (it == plan.index.end()) return nullptr;
+    if (it->second < 0 ||
+        it->second >= static_cast<int>(plan.values.size())) {
+      return nullptr;
+    }
+    const exec::ValuePlan* vp = &plan.values[it->second];
+    return vp->value == value ? vp : nullptr;
+  };
+
+  // Shared per-value checks; returns false when the slot is unusable.
+  int64_t planned_seen = 0;
+  auto check_common = [&](const Value* value, const exec::ValuePlan* vp) {
+    ++planned_seen;
+    int64_t numel = NumelOf(value);
+    if (vp->numel != numel) {
+      report.Error(kMemory, ValueLoc(value),
+                   StrCat("plan records ", vp->numel, " element(s), the "
+                          "program type has ", numel));
+    }
+    if (vp->slot < 0 || vp->slot >= num_slots) {
+      report.Error(kMemory, ValueLoc(value),
+                   StrCat("arena slot ", vp->slot, " out of bounds (",
+                          num_slots, " slot(s))"));
+      return false;
+    }
+    if (plan.slot_numels[vp->slot] != numel) {
+      report.Error(
+          kMemory, ValueLoc(value),
+          StrCat("placed in slot ", vp->slot, " of ",
+                 plan.slot_numels[vp->slot], " element(s) but holds ", numel));
+    }
+    return true;
+  };
+
+  Liveness top = ComputeLiveness(body);
+  if (plan.num_instructions != top.num_instructions) {
+    report.Error(kMemory, StrCat("function '", func.name(), "'"),
+                 StrCat("plan covers ", plan.num_instructions,
+                        " instruction(s), the program has ",
+                        top.num_instructions));
+  }
+
+  std::vector<Occupancy> occupancies;
+  // Liveness of the block each value belongs to, for in-place validation.
+  std::map<const Value*, const Liveness*> block_live;
+  std::map<const Value*, int> top_index_of;  // region-local -> loop index
+
+  for (const LiveInterval& li : top.intervals) {
+    const exec::ValuePlan* vp = find_plan(li.value);
+    if (vp == nullptr) {
+      report.Error(kMemory, ValueLoc(li.value),
+                   "missing from the memory plan");
+      continue;
+    }
+    block_live[li.value] = &top;
+    if (vp->region_local) {
+      report.Error(kMemory, ValueLoc(li.value),
+                   "top-level value marked region-local");
+    }
+    if (vp->def != li.def || vp->last_use != li.last_use) {
+      report
+          .Error(kMemory, ValueLoc(li.value),
+                 "plan liveness diverges from the recomputed live range")
+          .notes = {StrCat("plan: [", vp->def, ", ", vp->last_use,
+                           "], recomputed: [", li.def, ", ", li.last_use,
+                           "]")};
+    }
+    if (!check_common(li.value, vp)) continue;
+    if (li.last_use < li.def) continue;  // never-read arg: freed up front
+    Occupancy occ;
+    occ.vp = vp;
+    occ.block_id = 0;
+    occ.start = li.def;  // recomputed window, not the plan's claim
+    occ.end = li.last_use;
+    occupancies.push_back(occ);
+  }
+
+  // Region blocks: every body value must be region-local, pinned to its
+  // enclosing top-level instruction, and planned against body liveness.
+  std::vector<Liveness> region_liveness;  // stable storage for block_live
+  region_liveness.reserve(16);
+  int next_block_id = 1;
+  std::function<void(const Block&, int)> walk_block = [&](const Block& b,
+                                                          int top_index) {
+    if (b.num_ops() == 0) return;
+    const int block_id = next_block_id++;
+    region_liveness.push_back(ComputeLiveness(b));
+    const Liveness& live = region_liveness.back();
+    for (const LiveInterval& li : live.intervals) {
+      const exec::ValuePlan* vp = find_plan(li.value);
+      if (vp == nullptr) {
+        report.Error(kMemory, ValueLoc(li.value),
+                     "region-local value missing from the memory plan");
+        continue;
+      }
+      block_live[li.value] = &live;
+      top_index_of[li.value] = top_index;
+      if (!vp->region_local) {
+        report.Error(kMemory, ValueLoc(li.value),
+                     "loop-body value not marked region-local");
+      }
+      if (vp->def != top_index || vp->last_use != top_index) {
+        report
+            .Error(kMemory, ValueLoc(li.value),
+                   "region-local value not pinned to its enclosing loop")
+            .notes = {StrCat("plan: [", vp->def, ", ", vp->last_use,
+                             "], enclosing top-level instruction: ",
+                             top_index)};
+      }
+      if (!check_common(li.value, vp)) continue;
+      if (li.last_use < li.def) continue;
+      Occupancy occ;
+      occ.vp = vp;
+      occ.block_id = block_id;
+      occ.start = li.def;
+      occ.end = li.last_use;
+      occupancies.push_back(occ);
+    }
+    for (const auto& op : b.ops()) {
+      for (int r = 0; r < op->num_regions(); ++r) {
+        walk_block(op->region(r).block(), top_index);
+      }
+    }
+  };
+  for (int i = 0; i < top.num_instructions; ++i) {
+    const Operation& op = *body.ops()[i];
+    for (int r = 0; r < op.num_regions(); ++r) {
+      walk_block(op.region(r).block(), i);
+    }
+  }
+
+  if (planned_seen != static_cast<int64_t>(plan.values.size())) {
+    report.Error(kMemory, StrCat("function '", func.name(), "'"),
+                 StrCat("plan holds ", plan.values.size(),
+                        " value(s), the program defines ", planned_seen));
+  }
+
+  // In-place adoptions: the result must overwrite an operand of its own
+  // defining instruction that dies exactly at that instruction, in a slot
+  // of the same element count.
+  for (const exec::ValuePlan& vp : plan.values) {
+    if (!vp.in_place) continue;
+    const Value* value = vp.value;
+    auto live_it = block_live.find(value);
+    if (live_it == block_live.end()) continue;  // already diagnosed
+    const Liveness& live = *live_it->second;
+    const Operation* def_op = value->def();
+    if (def_op == nullptr) {
+      report.Error(kMemory, ValueLoc(value),
+                   "block argument marked as an in-place result");
+      continue;
+    }
+    const LiveInterval* value_li = live.Find(value);
+    bool legal = false;
+    for (const Value* operand : def_op->operands()) {
+      const exec::ValuePlan* op_vp = find_plan(operand);
+      const LiveInterval* op_li = live.Find(operand);
+      if (op_vp == nullptr || op_li == nullptr || value_li == nullptr) {
+        continue;
+      }
+      if (op_vp->slot == vp.slot && op_li->last_use == value_li->def &&
+          op_vp->numel == vp.numel) {
+        legal = true;
+        break;
+      }
+    }
+    if (!legal) {
+      report
+          .Error(kMemory, ValueLoc(value),
+                 "illegal in-place adoption: no operand of the defining "
+                 "instruction dies there in the result's slot")
+          .notes = {StrCat("result slot ", vp.slot,
+                           "; an in-place operand must share it, die at "
+                           "the defining instruction, and match its ",
+                           vp.numel, " element(s)")};
+    }
+  }
+
+  // Slot-sharing: group occupancies per slot and cross-check pairwise.
+  std::map<int, std::vector<Occupancy>> by_slot;
+  for (const Occupancy& occ : occupancies) {
+    by_slot[occ.vp->slot].push_back(occ);
+  }
+  for (auto& entry : by_slot) {
+    std::vector<Occupancy>& occs = entry.second;
+    std::sort(occs.begin(), occs.end(),
+              [](const Occupancy& a, const Occupancy& b) {
+                if (a.block_id != b.block_id) return a.block_id < b.block_id;
+                if (a.start != b.start) return a.start < b.start;
+                return a.end < b.end;
+              });
+    for (size_t a = 0; a < occs.size(); ++a) {
+      for (size_t b = a + 1; b < occs.size(); ++b) {
+        const Occupancy& first = occs[a];
+        const Occupancy& second = occs[b];
+        if (first.block_id != second.block_id) {
+          // Fresh-slots-per-scope invariant: a body slot reused across
+          // iterations must never alias an outer (or sibling-body) value
+          // that is live across the whole loop.
+          report
+              .Error(kMemory, ValueLoc(second.vp->value),
+                     StrCat("slot ", entry.first,
+                            " is shared across scopes with ",
+                            ValueLoc(first.vp->value)))
+              .notes = {"loop-body slots must be disjoint from every "
+                        "top-level and other-body slot: the body runs (and "
+                        "reuses its slots each iteration) while all outer "
+                        "values are live"};
+          continue;
+        }
+        if (second.start > first.end) continue;  // disjoint
+        if (second.start == first.end && second.vp->in_place) {
+          continue;  // legal in-place handoff at the boundary
+        }
+        report
+            .Error(kMemory, ValueLoc(second.vp->value),
+                   StrCat("overlapping live ranges share slot ", entry.first,
+                          " with ", ValueLoc(first.vp->value)))
+            .notes = {StrCat(ValueLoc(first.vp->value), " live over [",
+                             first.start, ", ", first.end, "], ",
+                             ValueLoc(second.vp->value), " live over [",
+                             second.start, ", ", second.end, "]")};
+      }
+    }
+  }
+}
+
+namespace {
+
+/** Stream-level wiring checks for one instruction list (recurses). */
+void CheckInstructions(const std::vector<exec::Instruction>& instructions,
+                       const exec::MemoryPlan& plan, int64_t num_sites,
+                       const std::string& prefix, int64_t* sites_expected,
+                       AnalysisReport& report) {
+  const int num_slots = static_cast<int>(plan.slot_numels.size());
+  auto slot_ok = [&](int slot) { return slot >= 0 && slot < num_slots; };
+  for (size_t i = 0; i < instructions.size(); ++i) {
+    const exec::Instruction& inst = instructions[i];
+    std::string loc =
+        StrCat(prefix, "instruction ", i, " (", OpKindName(inst.kind), ")");
+    if (inst.operand_dies.size() != inst.operand_slots.size()) {
+      report.Error(kExec, loc,
+                   StrCat("operand_dies covers ", inst.operand_dies.size(),
+                          " operand(s), the instruction has ",
+                          inst.operand_slots.size()));
+    }
+    for (int slot : inst.operand_slots) {
+      if (!slot_ok(slot)) {
+        report.Error(kExec, loc, StrCat("operand slot ", slot,
+                                        " out of bounds"));
+      }
+    }
+    for (int slot : inst.result_slots) {
+      if (!slot_ok(slot)) {
+        report.Error(kExec, loc, StrCat("result slot ", slot,
+                                        " out of bounds"));
+      }
+    }
+    int64_t numel = 1;
+    for (int64_t d : inst.result_dims) numel *= d;
+    if (numel != inst.result_numel) {
+      report.Error(kExec, loc,
+                   StrCat("result_numel ", inst.result_numel,
+                          " disagrees with result_dims product ", numel));
+    }
+    if (!inst.result_slots.empty() && slot_ok(inst.result_slots[0]) &&
+        plan.slot_numels[inst.result_slots[0]] != inst.result_numel) {
+      report.Error(
+          kExec, loc,
+          StrCat("writes ", inst.result_numel, " element(s) into slot ",
+                 inst.result_slots[0], " of ",
+                 plan.slot_numels[inst.result_slots[0]]));
+    }
+    if (inst.in_place_operand != -1) {
+      if (inst.in_place_operand < 0 ||
+          inst.in_place_operand >=
+              static_cast<int>(inst.operand_slots.size())) {
+        report.Error(kExec, loc,
+                     StrCat("in_place_operand ", inst.in_place_operand,
+                            " is not an operand index"));
+      } else {
+        if (inst.result_slots.empty() ||
+            inst.operand_slots[inst.in_place_operand] !=
+                inst.result_slots[0]) {
+          report.Error(kExec, loc,
+                       "in-place operand and result occupy different slots");
+        }
+        if (inst.in_place_operand <
+                static_cast<int>(inst.operand_dies.size()) &&
+            inst.operand_dies[inst.in_place_operand]) {
+          report.Error(kExec, loc,
+                       "in-place operand flagged as dying: the executor "
+                       "would move the buffer out from under the result");
+        }
+      }
+    }
+    if (inst.collective != nullptr && inst.collective->groups != nullptr) {
+      int64_t groups = static_cast<int64_t>(inst.collective->groups->groups.size());
+      if (inst.site_base < 0 || inst.site_base + groups > num_sites) {
+        report.Error(kExec, loc,
+                     StrCat("rendezvous sites [", inst.site_base, ", ",
+                            inst.site_base + groups,
+                            ") exceed the program's ", num_sites,
+                            " site(s)"));
+      }
+      if (sites_expected != nullptr) *sites_expected += groups;
+    }
+    if (inst.loop != nullptr) {
+      if (inst.loop->trip_count < 1) {
+        report.Error(kExec, loc, StrCat("loop trip count ",
+                                        inst.loop->trip_count, " < 1"));
+      }
+      if (!slot_ok(inst.loop->range_slot) || !slot_ok(inst.loop->yield_slot)) {
+        report.Error(kExec, loc, "loop range/yield slot out of bounds");
+      }
+      // Body collectives are the collective checker's finding; pass null so
+      // nested instructions don't count toward the top-level site total.
+      CheckInstructions(inst.loop->body, plan, num_sites,
+                        StrCat(prefix, i, "."), nullptr, report);
+    }
+  }
+}
+
+}  // namespace
+
+void CheckDeviceProgram(const SpmdModule& spmd,
+                        const exec::DeviceProgram& program,
+                        AnalysisReport& report) {
+  report.checkers_run.push_back("exec-program");
+  const Func* main = spmd.main();
+  if (main == nullptr) {
+    report.Error(kExec, "", "SPMD module has no main function");
+    return;
+  }
+  CheckMemoryPlan(*main, program.plan, report);
+
+  const int num_slots = static_cast<int>(program.plan.slot_numels.size());
+  auto slot_ok = [&](int slot) { return slot >= 0 && slot < num_slots; };
+  if (static_cast<int>(program.input_slots.size()) !=
+      main->body().num_args()) {
+    report.Error(kExec, "inputs",
+                 StrCat("program wires ", program.input_slots.size(),
+                        " input slot(s), the function takes ",
+                        main->body().num_args(), " argument(s)"));
+  }
+  int num_outputs = main->body().num_ops() == 0
+                        ? 0
+                        : main->body().terminator()->num_operands();
+  if (static_cast<int>(program.output_slots.size()) != num_outputs) {
+    report.Error(kExec, "outputs",
+                 StrCat("program wires ", program.output_slots.size(),
+                        " output slot(s), the function returns ",
+                        num_outputs, " value(s)"));
+  }
+  for (int slot : program.input_slots) {
+    if (!slot_ok(slot)) {
+      report.Error(kExec, "inputs", StrCat("input slot ", slot,
+                                           " out of bounds"));
+    }
+  }
+  for (int slot : program.output_slots) {
+    if (!slot_ok(slot)) {
+      report.Error(kExec, "outputs", StrCat("output slot ", slot,
+                                            " out of bounds"));
+    }
+  }
+
+  int64_t sites_expected = 0;
+  CheckInstructions(program.instructions, program.plan, program.num_sites,
+                    "", &sites_expected, report);
+  if (sites_expected != program.num_sites) {
+    report.Error(kExec, "",
+                 StrCat("instructions claim ", sites_expected,
+                        " rendezvous site(s), the program reserves ",
+                        program.num_sites));
+  }
+}
+
+}  // namespace analysis
+}  // namespace partir

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Shape / divisibility consistency checking over lowered SPMD modules.
+ *
+ * The lowered module's value types *are* the per-device local shapes; this
+ * checker re-derives every op's result shape from its operands — with mesh
+ * math for the collectives (all_gather multiplies dims by the gathered axis
+ * product, all_slice / reduce_scatter divide and must divide evenly,
+ * all_to_all moves a group-size factor between dims) — and flags any op
+ * whose declared types disagree with the derivation, or whose operands
+ * disagree with each other, before execution can. Shardings are validated
+ * against the mesh (axis existence, rank agreement).
+ *
+ * Checker id: "shape-check". Built on RunForwardDataflow; on a mismatch the
+ * declared shape is taken as the state so one bad op doesn't cascade.
+ */
+#ifndef PARTIR_ANALYSIS_SHAPE_CHECKER_H_
+#define PARTIR_ANALYSIS_SHAPE_CHECKER_H_
+
+#include "src/analysis/diagnostics.h"
+#include "src/spmd/lowering.h"
+
+namespace partir {
+namespace analysis {
+
+void CheckShapes(const SpmdModule& spmd, AnalysisReport& report);
+
+}  // namespace analysis
+}  // namespace partir
+
+#endif  // PARTIR_ANALYSIS_SHAPE_CHECKER_H_

@@ -1,5 +1,6 @@
 #include "src/api/executable.h"
 
+#include "src/analysis/analyze.h"
 #include "src/api/partition_cache.h"
 #include "src/exec/worker_pool.h"
 #include "src/ir/fingerprint.h"
@@ -75,6 +76,10 @@ StatusOr<exec::MemoryStats> Executable::memory_stats() const {
   stats.last_run_allocations =
       runtime_->last_run_allocations.load(std::memory_order_relaxed);
   return stats;
+}
+
+analysis::AnalysisReport Executable::Analyze() const {
+  return analysis::AnalyzeSpmd(result_.spmd);
 }
 
 StatusOr<std::string> Executable::Print(Stage stage) const {

@@ -124,6 +124,23 @@ class Executable {
 
   // ---- Inspection ----
 
+  /**
+   * Runs the static analysis suite (src/analysis/: structural lint, shape
+   * consistency, collective deadlock/mismatch detection, memory-plan
+   * verification) over the CURRENT device-local module and compiled
+   * program, so it reflects any backend mutation through mutable_spmd().
+   * Never fails: problems (including a module that no longer compiles)
+   * come back as diagnostics in the report.
+   */
+  analysis::AnalysisReport Analyze() const;
+
+  /** The analysis report the pipeline recorded at build time
+   *  (PartitionOptions::analyze); empty when analysis was disabled.
+   *  A cache hit carries the original miss run's report verbatim. */
+  const analysis::AnalysisReport& analysis_report() const {
+    return result_.analysis;
+  }
+
   /** Renders the module form at a pipeline stage. Errors when the stage was
    *  not captured (PartitionOptions::capture_stages=false) or is out of
    *  range. */

@@ -315,6 +315,7 @@ PartitionResult ClonePartitionResult(
   out.partition_seconds = result->partition_seconds;
   out.conflicts = result->conflicts;
   out.pipeline = result->pipeline;
+  out.analysis = result->analysis;
   // Clone the stage snapshots along with the module, so a cache-hit
   // executable's printable stages are as self-contained as its spmd module.
   // Snapshots that alias one module (the final loop form aliasing the last

@@ -1,5 +1,6 @@
 #include "src/pass/passes.h"
 
+#include "src/analysis/analyze.h"
 #include "src/exec/device_program.h"
 #include "src/ir/passes.h"
 #include "src/spmd/collectives.h"
@@ -153,6 +154,27 @@ Status CompileDeviceProgramsPass::Run(PipelineState& state) {
   PARTIR_ASSIGN_OR_RETURN(state.result.spmd.exec_program,
                           exec::CompileDeviceProgram(state.result.spmd));
   return Status::Ok();
+}
+
+std::string StaticAnalysisPass::name() const { return "static-analysis"; }
+
+Status StaticAnalysisPass::Run(PipelineState& state) {
+  PARTIR_CHECK(state.lowered) << "static-analysis before lowering";
+  state.result.analysis = analysis::AnalyzeSpmd(state.result.spmd);
+  const analysis::AnalysisReport& report = state.result.analysis;
+  state.changes = static_cast<int>(report.diagnostics.size());
+  if (report.errors() == 0) return Status::Ok();
+  // Quote the first few diagnostics so the failure is actionable without
+  // re-running analysis by hand.
+  std::string detail;
+  int quoted = 0;
+  for (const analysis::Diagnostic& diag : report.diagnostics) {
+    if (diag.severity != analysis::Severity::kError) continue;
+    detail = StrCat(detail, "\n  ", diag.ToString());
+    if (++quoted == 3) break;
+  }
+  return InternalError("static analysis found ", report.errors(),
+                       " error(s)", detail);
 }
 
 }  // namespace partir

@@ -132,6 +132,18 @@ class CompileDeviceProgramsPass : public Pass {
   Status Run(PipelineState& state) override;
 };
 
+/** Runs the static analysis suite (src/analysis/: lint, shape consistency,
+ *  collective deadlock/mismatch detection, memory-plan verification) over
+ *  the final lowered module + compiled program. The report lands in
+ *  result.analysis; errors fail the pipeline with a typed kInternal Status
+ *  quoting the first diagnostics. Registered last, behind
+ *  PartitionOptions::analyze. */
+class StaticAnalysisPass : public Pass {
+ public:
+  std::string name() const override;
+  Status Run(PipelineState& state) override;
+};
+
 }  // namespace partir
 
 #endif  // PARTIR_PASS_PASSES_H_

@@ -54,6 +54,9 @@ void BuildPartitionPipeline(PassManager& manager,
   manager.AddFixpoint(std::move(optimize), /*max_iterations=*/8);
   manager.AddPass(std::make_unique<PlanCollectivesPass>());
   manager.AddPass(std::make_unique<CompileDeviceProgramsPass>());
+  if (options.analyze) {
+    manager.AddPass(std::make_unique<StaticAnalysisPass>());
+  }
 }
 
 StatusOr<PartitionResult> RunPartitionPipeline(
@@ -74,6 +77,12 @@ StatusOr<PartitionResult> RunPartitionPipeline(
       CountCollectives(*result.spmd.module, result.spmd.mesh);
   result.estimate = EstimateSpmd(result.spmd, options.device);
   result.conflicts = ctx.conflicts();
+  // The manager overwrote result.pipeline with its own stats at the end of
+  // Run, so the analysis counts are folded in here, not by the pass.
+  result.pipeline.analysis_checkers =
+      static_cast<int64_t>(result.analysis.checkers_run.size());
+  result.pipeline.analysis_errors = result.analysis.errors();
+  result.pipeline.analysis_warnings = result.analysis.warnings();
   // partition_seconds (Figure 8) covers the whole Partition call including
   // this finalization; pipeline.total_seconds stays the manager's own
   // measurement so total_ms ≈ sum(per-pass ms) + verify_ms in the stats.

@@ -24,6 +24,15 @@ std::string PipelineStats::ToString() const {
                 static_cast<int>(verify_runs), verify_seconds * 1e3,
                 total_seconds * 1e3);
   out += tail;
+  if (analysis_checkers > 0) {
+    char analysis[96];
+    std::snprintf(analysis, sizeof(analysis),
+                  "analysis: %d checker(s), %d error(s), %d warning(s)\n",
+                  static_cast<int>(analysis_checkers),
+                  static_cast<int>(analysis_errors),
+                  static_cast<int>(analysis_warnings));
+    out += analysis;
+  }
   return out;
 }
 

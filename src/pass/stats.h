@@ -67,6 +67,12 @@ struct PipelineStats {
   double verify_seconds = 0;  // total inter-pass verification time
   int64_t verify_runs = 0;    // number of verifier invocations
   double total_seconds = 0;   // whole pipeline wall-clock
+  /** Static-analysis pass results (PartitionOptions::analyze): checkers run
+   *  and diagnostic counts, so callers (and bench JSONs) can gate on zero
+   *  diagnostics without holding the full AnalysisReport. */
+  int64_t analysis_checkers = 0;
+  int64_t analysis_errors = 0;
+  int64_t analysis_warnings = 0;
 
   /** First pass with the given name, or nullptr. */
   const PassStats* Find(const std::string& name) const {

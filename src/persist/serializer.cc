@@ -583,6 +583,25 @@ std::string SerializePartitionResult(const PartitionResult& result) {
     writer.WriteU64(snapshot_modules.at(snapshot.module.get()));
   }
 
+  // Static-analysis results (format v2), appended after everything v1 held
+  // so the field order above never shifted.
+  writer.WriteI64(pipeline.analysis_checkers);
+  writer.WriteI64(pipeline.analysis_errors);
+  writer.WriteI64(pipeline.analysis_warnings);
+  writer.WriteU64(result.analysis.diagnostics.size());
+  for (const analysis::Diagnostic& diag : result.analysis.diagnostics) {
+    writer.WriteU8(static_cast<uint8_t>(diag.severity));
+    writer.WriteStr(diag.checker_id);
+    writer.WriteStr(diag.location);
+    writer.WriteStr(diag.message);
+    writer.WriteU64(diag.notes.size());
+    for (const std::string& note : diag.notes) writer.WriteStr(note);
+  }
+  writer.WriteU64(result.analysis.checkers_run.size());
+  for (const std::string& checker : result.analysis.checkers_run) {
+    writer.WriteStr(checker);
+  }
+
   return writer.TakeBytes();
 }
 
@@ -686,6 +705,35 @@ StatusOr<PartitionResult> DeserializePartitionResult(
       snapshot.module = modules[index];
       result.snapshots.push_back(std::move(snapshot));
     }
+  }
+
+  // Static-analysis results (format v2).
+  result.pipeline.analysis_checkers = reader.ReadI64();
+  result.pipeline.analysis_errors = reader.ReadI64();
+  result.pipeline.analysis_warnings = reader.ReadI64();
+  uint64_t num_diags = ReadCount(reader, "diagnostic");
+  constexpr uint8_t kMaxSeverity =
+      static_cast<uint8_t>(analysis::Severity::kNote);
+  for (uint64_t i = 0; i < num_diags && reader.ok(); ++i) {
+    analysis::Diagnostic diag;
+    uint8_t severity = reader.ReadU8();
+    if (reader.ok() && severity > kMaxSeverity) {
+      reader.Corrupt(StrCat("bad severity tag ", severity));
+      break;
+    }
+    diag.severity = static_cast<analysis::Severity>(severity);
+    diag.checker_id = reader.ReadStr();
+    diag.location = reader.ReadStr();
+    diag.message = reader.ReadStr();
+    uint64_t num_notes = ReadCount(reader, "diagnostic note");
+    for (uint64_t j = 0; j < num_notes && reader.ok(); ++j) {
+      diag.notes.push_back(reader.ReadStr());
+    }
+    if (reader.ok()) result.analysis.diagnostics.push_back(std::move(diag));
+  }
+  uint64_t num_checkers = ReadCount(reader, "checker id");
+  for (uint64_t i = 0; i < num_checkers && reader.ok(); ++i) {
+    result.analysis.checkers_run.push_back(reader.ReadStr());
   }
 
   if (!reader.ok()) return reader.status();

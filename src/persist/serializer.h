@@ -98,8 +98,9 @@ StatusOr<std::unique_ptr<Module>> DeserializeModule(const std::string& bytes);
  * Serializes the full PartitionResult: the device-local SPMD module with
  * mesh and shardings, collective counts, simulator estimate, per-tactic
  * reports, pipeline statistics, recorded conflicts (axis and reason; the
- * op pointer is process-local and restored as null), stage snapshots, and
- * whether a compiled device program was present.
+ * op pointer is process-local and restored as null), stage snapshots,
+ * whether a compiled device program was present, and the static-analysis
+ * report with its pipeline counts (format v2).
  */
 std::string SerializePartitionResult(const PartitionResult& result);
 

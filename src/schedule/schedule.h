@@ -18,6 +18,7 @@
 #include <variant>
 #include <vector>
 
+#include "src/analysis/diagnostics.h"
 #include "src/autopart/mcts.h"
 #include "src/core/context.h"
 #include "src/pass/stats.h"
@@ -107,6 +108,16 @@ struct PartitionOptions {
    * change the result).
    */
   std::string cache_dir;
+  /**
+   * Run the static analysis suite (src/analysis/: IR lint, shape
+   * consistency, collective deadlock/mismatch detection, memory-plan
+   * verification) as a final pipeline pass. Errors fail the pipeline with a
+   * typed kInternal Status; the full report (warnings included) lands in
+   * PartitionResult::analysis and its counts in pipeline_stats(). Defaults
+   * on in assertion-enabled builds, like verify_passes. Not part of the
+   * cache key (it cannot change the partitioned program).
+   */
+  bool analyze = kVerifyPassesDefault;
 };
 
 /** Result of running a schedule. */
@@ -124,6 +135,9 @@ struct PartitionResult {
    *  the loop form after every tactic prefix and after the full schedule.
    *  Executable::Print(Stage) renders these. */
   std::vector<StageSnapshot> snapshots;
+  /** Findings of the static-analysis pass (PartitionOptions::analyze);
+   *  empty when analysis was off or everything was clean. */
+  analysis::AnalysisReport analysis;
 };
 
 /**

@@ -92,15 +92,30 @@ bool IsCollectiveKind(OpKind kind) {
   }
 }
 
-namespace {
-
-/** Group axes of an AxesPerDim attribute, in (dim, list-order) order. */
-std::vector<std::string> FlattenAxes(const AxesPerDim& axes_per_dim) {
+std::vector<std::string> FlattenAxesPerDim(const AxesPerDim& axes_per_dim) {
   std::vector<std::string> flat;
   for (const auto& list : axes_per_dim) {
     flat.insert(flat.end(), list.begin(), list.end());
   }
   return flat;
+}
+
+namespace {
+
+/** Abort-free attribute read: typed error when missing or mistyped. */
+template <typename T>
+StatusOr<T> SafeAttr(const Operation& op, const std::string& name) {
+  auto it = op.attrs().raw().find(name);
+  if (it == op.attrs().raw().end()) {
+    return InvalidArgumentError(OpKindName(op.kind()),
+                                ": missing attribute '", name, "'");
+  }
+  const T* value = std::get_if<T>(&it->second);
+  if (value == nullptr) {
+    return InvalidArgumentError(OpKindName(op.kind()), ": attribute '", name,
+                                "' has the wrong type");
+  }
+  return *value;
 }
 
 /** This device's (dim, chunk, count) steps for an all_slice-style slice. */
@@ -153,7 +168,7 @@ std::shared_ptr<const CollectivePlan> BuildCollectivePlan(
         }
         case OpKind::kAllGather: {
           col.axes_per_dim = op.attrs().Get<AxesPerDim>("axes_per_dim");
-          col.groups = groups_for(FlattenAxes(col.axes_per_dim));
+          col.groups = groups_for(FlattenAxesPerDim(col.axes_per_dim));
           break;
         }
         case OpKind::kAllReduce: {
@@ -165,7 +180,7 @@ std::shared_ptr<const CollectivePlan> BuildCollectivePlan(
         case OpKind::kReduceScatter: {
           col.axes_per_dim = op.attrs().Get<AxesPerDim>("axes_per_dim");
           col.is_max = op.attrs().Get<std::string>("reduction") == "max";
-          col.groups = groups_for(FlattenAxes(col.axes_per_dim));
+          col.groups = groups_for(FlattenAxesPerDim(col.axes_per_dim));
           // Each position's chunk of the reduced value: its coordinates
           // along the group axes, in the listed (outer-first) order.
           for (int64_t p = 0; p < col.groups->group_size; ++p) {
@@ -197,6 +212,25 @@ std::shared_ptr<const CollectivePlan> BuildCollectivePlan(
     });
   }
   return plan;
+}
+
+StatusOr<std::vector<std::string>> CollectiveGroupAxes(const Operation& op) {
+  switch (op.kind()) {
+    case OpKind::kAllSlice:
+    case OpKind::kAllGather:
+    case OpKind::kReduceScatter: {
+      PARTIR_ASSIGN_OR_RETURN(
+          AxesPerDim axes_per_dim,
+          SafeAttr<AxesPerDim>(op, "axes_per_dim"));
+      return FlattenAxesPerDim(axes_per_dim);
+    }
+    case OpKind::kAllReduce:
+    case OpKind::kAllToAll:
+      return SafeAttr<std::vector<std::string>>(op, "axes");
+    default:
+      return InvalidArgumentError(OpKindName(op.kind()),
+                                  " is not a collective");
+  }
 }
 
 Tensor CombineReduce(bool is_max, const Tensor& a, const Tensor& b) {

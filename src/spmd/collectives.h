@@ -27,6 +27,7 @@
 #include "src/interp/tensor.h"
 #include "src/ir/ir.h"
 #include "src/mesh/mesh.h"
+#include "src/support/status.h"
 
 namespace partir {
 
@@ -97,6 +98,18 @@ struct CollectivePlan {
 
 /** True for the five SPMD collective op kinds. */
 bool IsCollectiveKind(OpKind kind);
+
+/** Flattens per-dim axis lists in (dim, list-order) order. */
+std::vector<std::string> FlattenAxesPerDim(const AxesPerDim& axes_per_dim);
+
+/**
+ * The replica-group mesh axes of a collective op, as BuildCollectivePlan
+ * would group it (all_slice included: its flattened axes_per_dim, though it
+ * is communication-free). Unlike the plan builder — which PARTIR_CHECKs —
+ * this returns a typed error on a missing or mistyped attribute, so static
+ * analysis can run over corrupted programs without aborting.
+ */
+StatusOr<std::vector<std::string>> CollectiveGroupAxes(const Operation& op);
 
 /**
  * Builds the plan for every collective in `module` over `mesh`. Replica
