@@ -30,6 +30,10 @@ CollectiveStats WithoutReduceScatterFormation(
   PartitionContext ctx(step.func(), mesh);
   PartitionOptions options;
   options.per_tactic_reports = false;
+  // This helper documents the pre-boundary-realization pipeline (the
+  // "before" half of the rs-formation report), so both new mechanisms are
+  // off: its rows are frozen at their historical values.
+  options.boundary_realization = false;
   PipelineVariant variant;
   variant.form_reduce_scatter = false;
   StatusOr<PartitionResult> result =
@@ -38,11 +42,48 @@ CollectiveStats WithoutReduceScatterFormation(
   return result->collectives;
 }
 
+/** Counts for a schedule with the boundary-realization policy disabled
+ *  (PartitionOptions ablation): the historical all-all_reduce realization. */
+CollectiveStats WithoutBoundaryRealization(
+    Program& step, const Mesh& mesh, const std::vector<Tactic>& schedule) {
+  PartitionContext ctx(step.func(), mesh);
+  PartitionOptions options;
+  options.per_tactic_reports = false;
+  options.boundary_realization = false;
+  StatusOr<PartitionResult> result =
+      RunPartitionPipeline(ctx, schedule, options);
+  if (!result.ok()) PARTIR_FATAL() << result.status().ToString();
+  return result->collectives;
+}
+
+// --enforce-rows support: every row with a `golden` expectation is checked
+// against it and drift fails the process (the CI gate against collective
+// count regressions).
+bool g_enforce_rows = false;
+int g_drifted_rows = 0;
+
 void Report(const std::string& model, const std::string& schedule,
-            const CollectiveStats& stats, const std::string& note = "") {
+            const CollectiveStats& stats, const std::string& note = "",
+            const char* golden = nullptr) {
   PrintRow({model, schedule, StrCat(stats.all_gather),
             StrCat(stats.all_reduce), StrCat(stats.reduce_scatter),
             StrCat(stats.all_to_all), note});
+  if (!g_enforce_rows || golden == nullptr) return;
+  long eag = 0, ear = 0, ers = 0, ea2a = 0;
+  if (std::sscanf(golden, "%ld/%ld/%ld/%ld", &eag, &ear, &ers, &ea2a) != 4) {
+    PARTIR_FATAL() << "bad golden spec: " << golden;
+  }
+  if (stats.all_gather != eag || stats.all_reduce != ear ||
+      stats.reduce_scatter != ers || stats.all_to_all != ea2a) {
+    std::fprintf(stderr,
+                 "ROW DRIFT: %s %s got %lld/%lld/%lld/%lld want %s\n",
+                 model.c_str(), schedule.c_str(),
+                 static_cast<long long>(stats.all_gather),
+                 static_cast<long long>(stats.all_reduce),
+                 static_cast<long long>(stats.reduce_scatter),
+                 static_cast<long long>(stats.all_to_all), golden);
+    ++g_drifted_rows;
+  }
 }
 
 void TransformerRows() {
@@ -56,40 +97,49 @@ void TransformerRows() {
     const char* name;
     std::vector<Tactic> schedule;
     const char* paper;
+    const char* golden;  // --enforce-rows expectation (AG/AR/RS/A2A)
   };
   std::vector<Row> rows = {
-      {"BP", {TransformerBP()}, "paper: 0/290/0/0"},
-      {"BP+MP", {TransformerBP(), TransformerMP()}, "paper: 0/418/0/0"},
+      {"BP", {TransformerBP()}, "paper: 0/290/0/0", "0/290/0/0"},
+      {"BP+MP", {TransformerBP(), TransformerMP()}, "paper: 0/418/0/0",
+       "0/418/0/0"},
       {"BP+MP+Z2",
        {TransformerBP(), TransformerMP(), TransformerZ2()},
-       "paper: 129/289/129/0"},
+       "paper: 129/289/129/0", "129/289/129/0"},
       {"BP+MP+Z3",
        {TransformerBP(), TransformerMP(), TransformerZ3()},
-       "paper: 259/289/129/0"},
+       "paper: 259/289/129/0", "259/289/129/0"},
       {"BP+MP+Z3+EMB",
        {TransformerBP(), TransformerMP(), TransformerZ3(),
         TransformerEMB()},
-       "paper: 515/354/257/0"},
-      {"MP", {TransformerMP()}, "paper: 0/128/0/0"},
-      {"EMB", {TransformerEMB()}, "paper: 256/193/128/0"},
+       "paper: 515/354/257/0", "707/292/257/0"},
+      {"MP", {TransformerMP()}, "paper: 0/128/0/0", "0/128/0/0"},
+      {"EMB", {TransformerEMB()}, "paper: 256/193/128/0",
+       "256/193/128/0"},
   };
   for (const Row& row : rows) {
     Executable result = Run(step, mesh, row.schedule);
-    Report("T32", row.name, result.Collectives(), row.paper);
+    Report("T32", row.name, result.Collectives(), row.paper, row.golden);
   }
+
+  // The PartitionOptions::boundary_realization ablation: the historical
+  // all-all_reduce realization of the standalone EMB schedule.
+  Report("T32", "EMB -boundary",
+         WithoutBoundaryRealization(step, mesh, {TransformerEMB()}),
+         "boundary realization off", "0/355/0/0");
 
   // Before/after reduce-scatter formation on the EMB rows (the ROADMAP
   // T32 EMB fidelity item): "before" disables the form-reduce-scatter
   // pass, "after" is the full pipeline row above.
   Report("T32", "EMB -rs-form",
          WithoutReduceScatterFormation(step, mesh, {TransformerEMB()}),
-         "before reduce-scatter formation");
+         "before reduce-scatter formation", "0/355/0/0");
   Report("T32", "Z3+EMB -rs-form",
          WithoutReduceScatterFormation(
              step, mesh,
              {TransformerBP(), TransformerMP(), TransformerZ3(),
               TransformerEMB()}),
-         "before rs-formation (after: row above)");
+         "before rs-formation (after: row above)", "707/646/0/0");
 }
 
 void InferenceRows() {
@@ -106,19 +156,21 @@ void InferenceRows() {
     });
     Report("IT32", "BP",
            Run(infer, mesh, {bp}).Collectives(),
-           "paper: 0/0/0/0");
+           "paper: 0/0/0/0", "0/0/0/0");
     // Our serving loop does `steps` decode passes plus one prefill pass;
     // the paper reports counts for 1536 generated positions.
     Executable mp_only = Run(infer, mesh, {TransformerMP()});
     Report("IT32", "MP", mp_only.Collectives(),
            StrCat("extrapolated AR@1536 pos: ",
                   mp_only.Collectives().all_reduce / (steps + 1) * 1536,
-                  " (paper 98304)"));
+                  " (paper 98304)"),
+           "0/576/0/0");
     Executable bpmp = Run(infer, mesh, {bp, TransformerMP()});
     Report("IT32", "BP+MP", bpmp.Collectives(),
            StrCat("extrapolated AR@1536 pos: ",
                   bpmp.Collectives().all_reduce / (steps + 1) * 1536,
-                  " (paper 98304)"));
+                  " (paper 98304)"),
+           "0/576/0/0");
   }
   {
     TransformerConfig mq_config = config;
@@ -131,7 +183,8 @@ void InferenceRows() {
     Report("IT32", "BP+MP+MQ", result.Collectives(),
            StrCat("extrapolated A2A@1536 pos: ",
                   result.Collectives().all_to_all / steps * 1535,
-                  " (paper 98240)"));
+                  " (paper 98240)"),
+           "128/800/0/512");
   }
 }
 
@@ -144,13 +197,13 @@ void UNetRows() {
   using namespace schedules;
   Report("UNet", StrCat("BP (params=", config.NumParams(), ")"),
          Run(step, mesh, {UNetBP()}).Collectives(),
-         "paper: 0/503/0/0 @502 params");
+         "paper: 0/503/0/0 @502 params", "0/172/0/0");
   Report("UNet", "BP+Z2",
          Run(step, mesh, {UNetBP(), UNetZ2()}).Collectives(),
-         "paper: 517/2/501/0");
+         "paper: 517/2/501/0", "171/1/171/0");
   Report("UNet", "BP+Z3",
          Run(step, mesh, {UNetBP(), UNetZ3()}).Collectives(),
-         "paper: 799/2/501/0");
+         "paper: 799/2/501/0", "245/1/171/0");
 }
 
 void GnsRows() {
@@ -161,20 +214,28 @@ void GnsRows() {
   Mesh mesh({{"batch", 8}});
   Report("GNS", StrCat("ES (params=", config.NumParams(), ")"),
          Run(step, mesh, {schedules::GnsES()}).Collectives(),
-         "paper: 0/423/0/0");
+         "paper: 0/423/0/0", "0/322/0/0");
 }
 
 }  // namespace
 }  // namespace partir
 
-int main() {
+int main(int argc, char** argv) {
   using namespace partir;
   using namespace partir::bench;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--enforce-rows") g_enforce_rows = true;
+  }
   PrintHeader("Table 3: collectives introduced by each schedule");
   PrintRow({"model", "schedule", "AG", "AR", "RS", "A2A", "reference"});
   TransformerRows();
   InferenceRows();
   UNetRows();
   GnsRows();
+  if (g_enforce_rows && g_drifted_rows > 0) {
+    std::fprintf(stderr, "--enforce-rows: %d row(s) drifted\n",
+                 g_drifted_rows);
+    return 1;
+  }
   return 0;
 }

@@ -366,6 +366,29 @@ void LintRedundantCollectives(const Module& module, const Mesh& mesh,
                        "collective over an empty axis list is a no-op");
         continue;
       }
+      // Inverse-pair round trips: the boundary-gather realization plus a
+      // downstream re-tiling can chain all_gather and all_slice with the
+      // same axes_per_dim; fuse-gather-slice rewrites those away, so a
+      // survivor is pure redundant data motion.
+      const Operation* producer =
+          op->operand(0)->IsBlockArg() ? nullptr : op->operand(0)->def();
+      if (producer != nullptr &&
+          ((op->kind() == OpKind::kAllSlice &&
+            producer->kind() == OpKind::kAllGather) ||
+           (op->kind() == OpKind::kAllGather &&
+            producer->kind() == OpKind::kAllSlice))) {
+        const AxesPerDim* outer = AttrPtr<AxesPerDim>(*op, "axes_per_dim");
+        const AxesPerDim* inner =
+            AttrPtr<AxesPerDim>(*producer, "axes_per_dim");
+        if (outer != nullptr && inner != nullptr && *outer == *inner) {
+          report.Warning(
+              kRedundant, Loc(*op),
+              StrCat("undoes the ", OpKindName(producer->kind()), " '%",
+                     producer->result(0)->name(),
+                     "' it consumes (gather/slice round-trip survived "
+                     "fuse-gather-slice)"));
+        }
+      }
       bool replicated = true;
       for (const std::string& axis : axes) {
         if (!it->second.axes.count(axis)) replicated = false;
@@ -382,6 +405,18 @@ void LintRedundantCollectives(const Module& module, const Mesh& mesh,
         report.Warning(kRedundant, Loc(*op),
                        "all_gather of a value already replicated along the "
                        "gather axes concatenates identical copies");
+      } else if (op->kind() == OpKind::kReduceScatter) {
+        // A reduce_scatter formed over an already-reduced value is the
+        // double-reduction hazard of the rs-formation + boundary-scatter
+        // path: every device holds the full sum, so re-reducing scales the
+        // result by the group size.
+        report
+            .Warning(kRedundant, Loc(*op),
+                     "reduce_scatter of a value already replicated along "
+                     "its axes re-reduces identical copies")
+            .notes = {"for reduction=sum this scales the result by the "
+                      "group size; all_slice is the re-tiling that was "
+                      "probably intended"};
       }
     }
   }

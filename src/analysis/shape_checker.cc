@@ -293,13 +293,28 @@ class ShapeDeriver {
       case OpKind::kAllGather: {
         const auto* a = in(0);
         const auto* apd = AttrPtr<AxesPerDim>(op, "axes_per_dim");
-        if (a == nullptr || apd == nullptr || apd->size() != a->size()) {
+        if (a == nullptr || apd == nullptr) return std::nullopt;
+        // The boundary-realization paths emit these ops directly (operand
+        // gathers, gradient reduce_scatters), so malformed attributes get
+        // explicit diagnostics here rather than a silent no-opinion: a bad
+        // axes_per_dim would otherwise also disable the divisibility check
+        // everything downstream of the collective relies on.
+        if (apd->size() != a->size()) {
+          report_.Error(kShape, Loc(op),
+                        StrCat("axes_per_dim lists ", apd->size(),
+                               " dim(s), the operand has rank ", a->size()));
           return std::nullopt;
         }
         std::vector<int64_t> out = *a;
         for (size_t d = 0; d < a->size(); ++d) {
           std::optional<int64_t> product = AxisProduct(mesh_, (*apd)[d]);
-          if (!product.has_value()) return std::nullopt;
+          if (!product.has_value()) {
+            report_.Error(kShape, Loc(op),
+                          StrCat("dim ", d,
+                                 " gathers/slices along an axis missing "
+                                 "from the mesh"));
+            return std::nullopt;
+          }
           if (op.kind() == OpKind::kAllGather) {
             out[d] *= *product;
           } else {

@@ -289,7 +289,8 @@ std::string PartitionCacheKey(uint64_t trace_fingerprint,
   return StrCat(
       "trace:", trace_fingerprint, "|mesh:", MeshKey(mesh),
       "|opts:", DeviceKey(options.device), ",", options.incremental, ",",
-      options.per_tactic_reports, ",", options.capture_stages,
+      options.per_tactic_reports, ",", options.capture_stages, ",",
+      options.boundary_realization,
       "|schedule:", StrJoin(schedule, ",", TacticKey));
 }
 

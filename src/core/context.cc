@@ -53,7 +53,7 @@ bool PartitionContext::TileValue(Value* value, int64_t dim,
     case TileCheck::kOk:
       break;
   }
-  value_state_[value].tiles.push_back(ValueTile{axis, dim});
+  value_state_[value].tiles.push_back(ValueTile{axis, dim, /*seeded=*/true});
   return true;
 }
 
@@ -87,7 +87,7 @@ Status PartitionContext::TileValueOrError(Value* value, int64_t dim,
     case TileCheck::kOk:
       break;
   }
-  value_state_[value].tiles.push_back(ValueTile{axis, dim});
+  value_state_[value].tiles.push_back(ValueTile{axis, dim, /*seeded=*/true});
   return Status::Ok();
 }
 
@@ -108,6 +108,14 @@ std::vector<ValueTile> PartitionContext::RealizedTiles(
     const Factor& factor = spec.factors.at(entry.factor);
     PARTIR_CHECK(factor.result_dim >= 0);
     tiles.push_back(ValueTile{entry.axis, factor.result_dim});
+  }
+  // Scatter-realized contracting axes: the boundary realization re-tiles the
+  // reduced result (all_reduce + all_slice -> reduce_scatter after the SPMD
+  // peephole), so the value is *produced* tiled on the state's dim.
+  for (const OpAxisEntry& entry : nest(def)) {
+    if (!entry.contracting) continue;
+    int64_t dim = state(value).DimOfAxis(entry.axis);
+    if (dim >= 0) tiles.push_back(ValueTile{entry.axis, dim});
   }
   return tiles;
 }
@@ -247,6 +255,30 @@ class Propagator {
         continue;
       }
       const Candidate& candidate = candidates.front();
+      // Realization boundary (Section 5.2.4): a contracting step creates a
+      // partial value; consult the policy for how to realize it before
+      // committing to the #sum nest entry. Only steps the baseline
+      // all_reduce realization would actually commit are offered to the
+      // policy: refused steps (atomic or indivisible operands, axis already
+      // summing the result) keep their historical refusal diagnostics — and
+      // schedules that rely on refusal-driven per-use gathers (e.g. Z3's
+      // weight re-gathers) lower byte-identically with the policy installed.
+      if (ctx_.realization_policy_ != nullptr &&
+          spec.factors.at(candidate.factor).contracting &&
+          ContractingStepWouldApply(op, spec.factors.at(candidate.factor),
+                                    candidate.axis)) {
+        switch (DecideRealization(op, spec, candidate)) {
+          case Realization::kGather:
+            // Stop here: no nest entry means lowering all_gathers the tiled
+            // operands and computes the op replicated.
+            continue;
+          case Realization::kScatter:
+            if (TryApplyScatter(op, spec, candidate)) ++applied;
+            continue;
+          case Realization::kReduce:
+            break;
+        }
+      }
       if (TryApply(op, spec, candidate)) {
         ++applied;
       }
@@ -254,16 +286,107 @@ class Propagator {
     return applied;
   }
 
+  // Quiet preview of TryApply's contracting-entry checks: true when the
+  // baseline kReduce realization would commit this step. No conflicts are
+  // reported here; a refused step falls through to TryApply, which reports
+  // them exactly as it did before realization policies existed.
+  bool ContractingStepWouldApply(Operation& op, const Factor& factor,
+                                 const std::string& axis) {
+    if (!OperandsFeasible(op, factor, axis, /*report=*/false)) return false;
+    if (op.num_results() == 1 && ctx_.state(op.result()).HasAxis(axis)) {
+      return false;
+    }
+    return true;
+  }
+
+  // Looks up or makes the realization decision for a contracting step.
+  Realization DecideRealization(Operation& op, const OpShardingSpec& spec,
+                                const Candidate& candidate) {
+    auto key = std::make_pair(static_cast<const Operation*>(&op),
+                              candidate.axis);
+    auto it = ctx_.realizations_.find(key);
+    if (it != ctx_.realizations_.end()) return it->second;
+
+    BoundarySite site;
+    site.op = &op;
+    site.axis = candidate.axis;
+    site.factor = candidate.factor;
+    site.scatter_dim = DefaultScatterDim(op, candidate.axis);
+    Realization realization = ctx_.realization_policy_(site);
+    if (realization == Realization::kScatter &&
+        !ScatterFeasible(op, candidate.axis, site.scatter_dim)) {
+      realization = Realization::kReduce;
+    }
+    if (realization == Realization::kScatter) {
+      ctx_.scatter_dims_[key] = site.scatter_dim;
+    }
+    ctx_.realizations_[key] = realization;
+    return realization;
+  }
+
+  // The highest result dim whose local size divides the axis — the default
+  // reduce_scatter target (innermost dims keep contiguous shards).
+  int64_t DefaultScatterDim(const Operation& op, const std::string& axis) {
+    if (op.num_results() != 1 || !op.result()->type().IsTensor()) return -1;
+    Value* result = op.result();
+    const std::vector<int64_t>& dims = result->tensor_type().dims();
+    const ValueState& state = ctx_.state(result);
+    int64_t axis_size = ctx_.mesh_.AxisSize(axis);
+    for (int64_t d = result->tensor_type().rank() - 1; d >= 0; --d) {
+      if (state.DimOfAxis(axis) < 0 &&
+          ctx_.LocalDimSize(dims, state, d) % axis_size == 0) {
+        return d;
+      }
+    }
+    return -1;
+  }
+
+  bool ScatterFeasible(const Operation& op, const std::string& axis,
+                       int64_t scatter_dim) {
+    if (op.num_results() != 1 || !op.result()->type().IsTensor()) return false;
+    Value* result = op.result();
+    if (scatter_dim < 0 || scatter_dim >= result->tensor_type().rank()) {
+      return false;
+    }
+    const ValueState& state = ctx_.state(result);
+    if (state.HasAxis(axis) || ctx_.IsAtomic(result, axis)) return false;
+    return ctx_.LocalDimSize(result->tensor_type().dims(), state,
+                             scatter_dim) %
+               ctx_.mesh_.AxisSize(axis) ==
+           0;
+  }
+
+  // Applies a contracting entry with the kScatter realization: the #sum nest
+  // entry plus a result-state tile on the chosen scatter dim (which TryApply
+  // would refuse as "sum axis already tiles the result" — here it is the
+  // realization, not a double nesting).
+  bool TryApplyScatter(Operation& op, const OpShardingSpec& spec,
+                       const Candidate& candidate) {
+    const Factor& factor = spec.factors.at(candidate.factor);
+    const std::string& axis = candidate.axis;
+    if (!OperandsFeasible(op, factor, axis)) return false;
+    auto key = std::make_pair(static_cast<const Operation*>(&op), axis);
+    int64_t scatter_dim = ctx_.scatter_dims_.at(key);
+    if (!ScatterFeasible(op, axis, scatter_dim)) {
+      ReportConflict(&op, axis, "scatter realization no longer feasible");
+      return false;
+    }
+    ctx_.op_nest_[&op].push_back(
+        OpAxisEntry{axis, /*contracting=*/true, candidate.factor});
+    ctx_.value_state_[op.result()].tiles.push_back(
+        ValueTile{axis, scatter_dim});
+    ApplyOperandTiles(op, factor, axis);
+    return true;
+  }
+
   // Checks feasibility of tiling `op` along candidate.axis via the factor,
   // and applies it: appends the nest entry, updates the result state, and
   // infers missing operand tiles (Section 5.2.2 "inference").
-  bool TryApply(Operation& op, const OpShardingSpec& spec,
-                const Candidate& candidate) {
-    const Factor& factor = spec.factors.at(candidate.factor);
-    const std::string& axis = candidate.axis;
+  // Operand-side feasibility of one factor along `axis` (shared by the
+  // reduce and scatter realizations).
+  bool OperandsFeasible(Operation& op, const Factor& factor,
+                        const std::string& axis, bool report = true) {
     int64_t axis_size = ctx_.mesh_.AxisSize(axis);
-
-    // Operand feasibility.
     for (int i = 0; i < op.num_operands(); ++i) {
       if (i >= static_cast<int>(factor.operand_dims.size())) break;
       int dim = factor.operand_dims[i];
@@ -275,17 +398,45 @@ class Propagator {
       // entry: SPMD lowering redistributes it (all_to_all, Appendix C.5).
       if (existing < 0) {
         if (ctx_.IsAtomic(operand, axis)) {
-          ReportConflict(&op, axis, "operand is atomic (kept replicated)");
+          if (report) {
+            ReportConflict(&op, axis, "operand is atomic (kept replicated)");
+          }
           return false;
         }
         int64_t local = ctx_.LocalDimSize(operand->tensor_type().dims(),
                                           state, dim);
         if (local % axis_size != 0) {
-          ReportConflict(&op, axis, "operand dim not divisible by axis");
+          if (report) {
+            ReportConflict(&op, axis, "operand dim not divisible by axis");
+          }
           return false;
         }
       }
     }
+    return true;
+  }
+
+  // Records the inferred operand tiles of an applied factor.
+  void ApplyOperandTiles(Operation& op, const Factor& factor,
+                         const std::string& axis) {
+    for (int i = 0; i < op.num_operands(); ++i) {
+      if (i >= static_cast<int>(factor.operand_dims.size())) break;
+      int dim = factor.operand_dims[i];
+      if (dim < 0) continue;
+      ValueState& ostate = ctx_.value_state_[op.operand(i)];
+      if (!ostate.HasAxis(axis)) {
+        ostate.tiles.push_back(ValueTile{axis, dim});
+      }
+    }
+  }
+
+  bool TryApply(Operation& op, const OpShardingSpec& spec,
+                const Candidate& candidate) {
+    const Factor& factor = spec.factors.at(candidate.factor);
+    const std::string& axis = candidate.axis;
+    int64_t axis_size = ctx_.mesh_.AxisSize(axis);
+
+    if (!OperandsFeasible(op, factor, axis)) return false;
     // Result feasibility (for tiling factors).
     Value* result = op.num_results() == 1 ? op.result() : nullptr;
     if (!factor.contracting) {
@@ -324,15 +475,7 @@ class Propagator {
         rstate.tiles.push_back(ValueTile{axis, factor.result_dim});
       }
     }
-    for (int i = 0; i < op.num_operands(); ++i) {
-      if (i >= static_cast<int>(factor.operand_dims.size())) break;
-      int dim = factor.operand_dims[i];
-      if (dim < 0) continue;
-      ValueState& ostate = ctx_.value_state_[op.operand(i)];
-      if (!ostate.HasAxis(axis)) {
-        ostate.tiles.push_back(ValueTile{axis, dim});
-      }
-    }
+    ApplyOperandTiles(op, factor, axis);
     return true;
   }
 

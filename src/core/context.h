@@ -20,9 +20,11 @@
 #ifndef PARTIR_CORE_CONTEXT_H_
 #define PARTIR_CORE_CONTEXT_H_
 
+#include <functional>
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/factors.h"
@@ -32,11 +34,52 @@
 
 namespace partir {
 
-/** One (axis, dim) tile of a value; order in the list = loop-nest order. */
+/**
+ * One (axis, dim) tile of a value; order in the list = loop-nest order.
+ * `seeded` marks tiles placed by an explicit compiler action (a tactic or a
+ * search decision) as opposed to tiles inferred by propagation; realization
+ * policies must never gather a seeded tile away.
+ */
 struct ValueTile {
   std::string axis;
   int64_t dim;
+  bool seeded = false;
 };
+
+/**
+ * How a contracting propagation step (a partial value) is realized in SPMD
+ * form. `kReduce` pushes the partial through as a #sum loop (an all_reduce
+ * after lowering) — the historical behavior. `kGather` stops propagation at
+ * the op (a realization boundary): no nest entry is recorded, so lowering
+ * all_gathers the tiled operands and computes the op replicated. `kScatter`
+ * pushes the partial through *and* re-tiles the result on `scatter_dim`, so
+ * lowering emits all_reduce + all_slice, which the SPMD peephole fuses into
+ * a reduce_scatter (the gradient-path realization).
+ */
+enum class Realization {
+  kReduce,
+  kGather,
+  kScatter,
+};
+
+/**
+ * A contracting propagation step offered to the realization policy.
+ * `scatter_dim` arrives as the default suggestion (the highest divisible
+ * result dim) and may be overwritten by the policy when returning kScatter.
+ */
+struct BoundarySite {
+  const Operation* op = nullptr;
+  std::string axis;
+  int factor = -1;
+  int64_t scatter_dim = -1;
+};
+
+/**
+ * Decides the realization of one contracting propagation step. Installed by
+ * the Propagate pass (cost-model scored by default); null keeps every step
+ * on kReduce.
+ */
+using RealizationPolicy = std::function<Realization(BoundarySite&)>;
 
 /** The tiling state of one value. */
 struct ValueState {
@@ -118,6 +161,24 @@ class PartitionContext {
    */
   bool ForceOpAxis(Operation* op, const std::string& axis, int factor_index);
 
+  /**
+   * Installs the realization policy consulted by Propagate at contracting
+   * steps (realization boundaries). Decisions are memoized per (op, axis)
+   * across fixpoint sweeps and incremental tactics. Null (the default)
+   * realizes every contracting step as kReduce — the historical all_reduce
+   * behavior.
+   */
+  void SetRealizationPolicy(RealizationPolicy policy) {
+    realization_policy_ = std::move(policy);
+  }
+  bool HasRealizationPolicy() const { return realization_policy_ != nullptr; }
+
+  /** Realization decisions made during Propagate, keyed (op, axis). */
+  const std::map<std::pair<const Operation*, std::string>, Realization>&
+  realizations() const {
+    return realizations_;
+  }
+
   // ---- Queries ----
 
   const ValueState& state(const Value* value) const {
@@ -181,6 +242,11 @@ class PartitionContext {
   std::map<const Value*, std::set<std::string>> atomic_;
   std::vector<Conflict> conflicts_;
   std::set<std::pair<const Operation*, std::string>> reported_;
+  RealizationPolicy realization_policy_;
+  std::map<std::pair<const Operation*, std::string>, Realization>
+      realizations_;
+  // Scatter dims chosen alongside kScatter decisions, same key as above.
+  std::map<std::pair<const Operation*, std::string>, int64_t> scatter_dims_;
 };
 
 }  // namespace partir

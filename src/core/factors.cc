@@ -334,4 +334,58 @@ OpShardingSpec GetShardingSpec(const Operation& op) {
   }
 }
 
+bool ChainContainsRsqrt(const Value* v, int depth) {
+  if (v->IsBlockArg() || depth < 0) return false;
+  const Operation* def = v->def();
+  if (def == nullptr) return false;
+  if (def->kind() == OpKind::kRsqrt) return true;
+  if (!IsUnaryElementwise(def->kind()) && !IsBinaryElementwise(def->kind())) {
+    return false;
+  }
+  for (int i = 0; i < def->num_operands(); ++i) {
+    if (ChainContainsRsqrt(def->operand(i), depth - 1)) return true;
+  }
+  return false;
+}
+
+namespace {
+
+bool IsNormalizationOutputImpl(const Value* v, int depth) {
+  if (v->IsBlockArg() || depth > 2) return false;
+  const Operation* def = v->def();
+  if (def == nullptr || def->kind() != OpKind::kMul) return false;
+  for (int i = 0; i < def->num_operands(); ++i) {
+    const Value* o = def->operand(i);
+    if (!o->IsBlockArg() && o->def() != nullptr &&
+        o->def()->kind() == OpKind::kBroadcastInDim &&
+        ChainContainsRsqrt(o->def()->operand(0))) {
+      return true;
+    }
+  }
+  for (int i = 0; i < def->num_operands(); ++i) {
+    if (IsNormalizationOutputImpl(def->operand(i), depth + 1)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsNormalizationOutput(const Value* v) {
+  return IsNormalizationOutputImpl(v, 0);
+}
+
+bool IsStatisticsReduce(const Operation& op, bool* second_moment) {
+  if (op.kind() != OpKind::kReduce) return false;
+  const auto& dims = op.attrs().Get<std::vector<int64_t>>("dims");
+  int64_t rank = op.operand(0)->tensor_type().rank();
+  if (dims.size() != 1 || dims[0] != rank - 1) return false;
+  if (second_moment != nullptr) {
+    const Value* o = op.operand(0);
+    const Operation* def = o->IsBlockArg() ? nullptr : o->def();
+    *second_moment = def != nullptr && def->kind() == OpKind::kMul &&
+                     def->operand(0) == def->operand(1);
+  }
+  return true;
+}
+
 }  // namespace partir

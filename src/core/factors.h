@@ -69,6 +69,34 @@ struct OpShardingSpec {
  */
 OpShardingSpec GetShardingSpec(const Operation& op);
 
+/**
+ * Value-provenance queries used to classify propagation realization
+ * boundaries (PartitionContext::SetRealizationPolicy). They are purely
+ * structural — they walk defining ops, never sharding state — so the cost
+ * model can classify a boundary site without depending on propagation
+ * internals.
+ */
+
+/** True when `v` is (within `depth` elementwise ops of) an rsqrt output —
+ *  the signature of a normalization statistic (1/sqrt(var + eps)). */
+bool ChainContainsRsqrt(const Value* v, int depth = 4);
+
+/**
+ * True when `v` is the rescale output of a normalization: a chain of muls
+ * one of whose operands broadcasts an rsqrt-derived statistic. The walk
+ * crosses muls only, so gradient accumulations (adds on the backward
+ * residual path) never classify as normalization outputs.
+ */
+bool IsNormalizationOutput(const Value* v);
+
+/**
+ * True when `op` is a statistics reduce: a single-dim reduction over its
+ * operand's innermost dim — the normalization/softmax family, as opposed to
+ * batch or loss reductions. When non-null, `*second_moment` is set to
+ * whether the reduced operand is x*x (the forward variance accumulation).
+ */
+bool IsStatisticsReduce(const Operation& op, bool* second_moment = nullptr);
+
 }  // namespace partir
 
 #endif  // PARTIR_CORE_FACTORS_H_

@@ -69,6 +69,17 @@ Status AutoTacticPass::Run(PipelineState& state) {
 std::string PropagatePass::name() const { return "propagate"; }
 
 Status PropagatePass::Run(PipelineState& state) {
+  // Boundary-aware realization (PartitionOptions::boundary_realization):
+  // propagation consults the cost model at realization boundaries instead
+  // of hard-coding the all_reduce realization. A policy the caller already
+  // installed (tests, experiments) wins over the default.
+  if (state.options.boundary_realization &&
+      !state.ctx.HasRealizationPolicy()) {
+    PartitionContext* ctx = &state.ctx;
+    state.ctx.SetRealizationPolicy([ctx](BoundarySite& site) {
+      return ChooseBoundaryRealization(*ctx, site);
+    });
+  }
   state.changes = state.ctx.Propagate();
   if (tactic_index_ >= 0) {
     ReportFor(state, tactic_index_).conflicts =

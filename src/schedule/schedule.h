@@ -93,6 +93,19 @@ struct PartitionOptions {
    *  Status naming the pass. Not part of the cache key (it cannot change
    *  the partitioned program). */
   bool verify_passes = kVerifyPassesDefault;
+  /**
+   * Boundary-aware propagation realization (Section 5.2.2 realization of
+   * partial values): at realization boundaries — normalization statistics,
+   * softmax-style reductions, and the projections they feed — the Propagate
+   * pass consults the cost model (ChooseBoundaryRealization) to realize
+   * each contracting step as an all_gather of the tiled operands, an
+   * all_reduce of the partial, or a reduce_scatter re-tiling on the
+   * gradient path, instead of hard-coding all_reduce. Turning this off is
+   * the ablation that restores the historical all-AR realization (the T32
+   * standalone-EMB row degrades from 256/193/128/0 to 0/355/0/0). Part of
+   * the cache key (it changes the partitioned program).
+   */
+  bool boundary_realization = true;
   /** Consult (and populate) the Program's partition cache. Turn off to
    *  force the full pipeline on every call — e.g. when benchmarking it.
    *  Not part of the cache key (it does not change the result). */

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
+#include <vector>
 
+#include "src/core/factors.h"
 #include "src/support/str_util.h"
 
 namespace partir {
@@ -259,6 +262,115 @@ double Mfu(double model_flops, double step_seconds, int64_t num_devices,
   if (step_seconds <= 0) return 0;
   return 100.0 * model_flops / step_seconds /
          (static_cast<double>(num_devices) * device.peak_flops);
+}
+
+// ---------------------------------------------------------------------------
+// Boundary realization (PartitionOptions::boundary_realization).
+// ---------------------------------------------------------------------------
+
+RealizationCost ScoreBoundaryRealization(const PartitionContext& ctx,
+                                         const BoundarySite& site) {
+  const Operation& op = *site.op;
+  OpShardingSpec spec = GetShardingSpec(op);
+  const Factor& factor = spec.factors.at(site.factor);
+  int64_t k = ctx.mesh().AxisSize(site.axis);
+  double frac = static_cast<double>(k - 1) / static_cast<double>(k);
+  RealizationCost cost;
+  // Gather: each operand participating in the contracting factor is
+  // re-assembled in full before the local computation.
+  for (int i = 0; i < op.num_operands(); ++i) {
+    if (i >= static_cast<int>(factor.operand_dims.size())) break;
+    if (factor.operand_dims[i] < 0) continue;
+    cost.gather +=
+        frac * static_cast<double>(op.operand(i)->tensor_type().ByteSize());
+  }
+  double result_bytes =
+      op.num_results() == 1 && op.result()->type().IsTensor()
+          ? static_cast<double>(op.result()->tensor_type().ByteSize())
+          : 0;
+  cost.reduce = 2 * frac * result_bytes;
+  cost.scatter = site.scatter_dim >= 0
+                     ? frac * result_bytes
+                     : std::numeric_limits<double>::infinity();
+  return cost;
+}
+
+Realization ChooseBoundaryRealization(PartitionContext& ctx,
+                                      BoundarySite& site) {
+  const Operation& op = *site.op;
+  OpShardingSpec spec = GetShardingSpec(op);
+  const Factor& factor = spec.factors.at(site.factor);
+
+  // A contract operand the user explicitly tiled on this axis (a seed, not
+  // an inferred tile) expresses intent to compute with partials: the tied
+  // embedding of the logits projection, Megatron's row-sharded weights.
+  // Those stay all_reduce realizations unconditionally.
+  for (int i = 0; i < op.num_operands(); ++i) {
+    if (i >= static_cast<int>(factor.operand_dims.size())) break;
+    int dim = factor.operand_dims[i];
+    if (dim < 0) continue;
+    for (const ValueTile& tile : ctx.state(op.operand(i)).tiles) {
+      if (tile.axis == site.axis && tile.dim == dim && tile.seeded) {
+        return Realization::kReduce;
+      }
+    }
+  }
+  // An op already nested under other axes was shaped by earlier tactics
+  // (data-parallel batch entries, Megatron head entries): realization
+  // choices are reserved for the first axis binding, so combined schedules
+  // keep their historical all_reduce placements.
+  if (!ctx.nest(&op).empty()) return Realization::kReduce;
+
+  bool second_moment = false;
+  if (IsStatisticsReduce(op, &second_moment)) {
+    // Normalization / softmax statistics are genuine realization
+    // boundaries: the rsqrt (resp. exp) ahead needs the full reduction, and
+    // the statistic is small. ScoreBoundaryRealization always favors
+    // gathering here (a stat is ~1/d_model the size of its operand, so
+    // 2x-ing it via all_reduce still beats nothing, but the *operand* is
+    // re-used by the rescale anyway and its gather is shared), so tiled
+    // partials stop at the statistic and the value is realized.
+    return Realization::kGather;
+  }
+  if (op.kind() != OpKind::kDot) return Realization::kReduce;
+  // Dots: only feature contractions (the operand's innermost dim) are
+  // realization boundaries; leading-dim contractions are the data-parallel
+  // weight-gradient pattern whose all_reduce is the intended semantics.
+  bool innermost = false;
+  for (int i = 0; i < op.num_operands(); ++i) {
+    if (i >= static_cast<int>(factor.operand_dims.size())) break;
+    int dim = factor.operand_dims[i];
+    if (dim >= 0 && dim == op.operand(i)->tensor_type().rank() - 1) {
+      innermost = true;
+    }
+  }
+  if (!innermost) return Realization::kReduce;
+
+  // Feature-contracting dots. Interior projections (rank >= 4 results:
+  // qkv, attention scores/values and their gradients) re-tile their result
+  // via reduce_scatter: RS moves half the bytes of an AR of the same
+  // result (ScoreBoundaryRealization), and the tile lands where the
+  // consumer contracts -- projections fed by a normalization keep the
+  // propagator's suggested scatter dim (the widest divisible one, the
+  // per-head feature dim), attention-interior dots scatter the rank-2 dim
+  // (heads / sequence). Exit projections (rank-3 results: out-proj, FFW
+  // down, their gradients) write the residual stream, whose other addend
+  // is tiled on d_model; re-tiling them anywhere else just reshards at the
+  // add, so they keep the all_reduce realization.
+  int64_t result_rank = op.result()->tensor_type().rank();
+  if (result_rank < 4) return Realization::kReduce;
+  if (!IsNormalizationOutput(op.operand(0))) {
+    site.scatter_dim = result_rank - 2;
+  }
+  if (site.scatter_dim < 0 ||
+      op.result()->tensor_type().dims()[site.scatter_dim] %
+              ctx.mesh().AxisSize(site.axis) !=
+          0) {
+    return Realization::kReduce;
+  }
+  RealizationCost score = ScoreBoundaryRealization(ctx, site);
+  return score.scatter <= score.reduce ? Realization::kScatter
+                                       : Realization::kReduce;
 }
 
 }  // namespace partir

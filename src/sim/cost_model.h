@@ -59,6 +59,37 @@ double Mfu(double model_flops, double step_seconds, int64_t num_devices,
 /** Peak live memory (bytes) of a function via live-range analysis. */
 double EstimatePeakMemory(const Func& func);
 
+/**
+ * Per-realization communication cost of one contracting boundary step
+ * (PartitionContext::SetRealizationPolicy), in bytes moved per device under
+ * the standard ring-collective model over the k-way mesh axis:
+ *   gather  = sum over contract-tiled operands of (k-1)/k * full bytes
+ *   reduce  = 2 (k-1)/k * result bytes   (reduce-scatter + all-gather)
+ *   scatter = (k-1)/k * result bytes     (infinity when no result dim
+ *                                         divides the axis)
+ */
+struct RealizationCost {
+  double gather = 0;
+  double reduce = 0;
+  double scatter = 0;
+};
+
+/** Scores realizing `site` each way; purely analytical, no IR mutation. */
+RealizationCost ScoreBoundaryRealization(const PartitionContext& ctx,
+                                         const BoundarySite& site);
+
+/**
+ * The default realization policy the Propagate pass installs when
+ * PartitionOptions::boundary_realization is on: classifies the boundary
+ * (normalization statistics vs. the projections they feed vs. everything
+ * else) and picks the realization ScoreBoundaryRealization favors among the
+ * ones structurally admissible for that class. May pin the site's result
+ * atomic (ctx.AtomicValue) to stop downstream re-tiling through a gathered
+ * boundary.
+ */
+Realization ChooseBoundaryRealization(PartitionContext& ctx,
+                                      BoundarySite& site);
+
 }  // namespace partir
 
 #endif  // PARTIR_SIM_COST_MODEL_H_

@@ -1,6 +1,8 @@
 #include "src/spmd/lowering.h"
 
 #include <map>
+#include <set>
+#include <vector>
 
 #include "src/ir/builder.h"
 #include "src/support/str_util.h"
@@ -47,7 +49,9 @@ class SpmdLowering {
       out_.input_shardings.push_back(
           ValueSharding{TilesToAxesPerDim(tiles, type.rank())});
     }
+    MatchDeferredStat(src);
     for (const auto& op : src.body().ops()) {
+      ++emit_seq_;
       EmitOp(*op);
     }
   }
@@ -107,13 +111,391 @@ class SpmdLowering {
     return it->second;
   }
 
+  static bool SameTiles(const std::vector<ValueTile>& a,
+                        const std::vector<ValueTile>& b) {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i].axis != b[i].axis || a[i].dim != b[i].dim) return false;
+    }
+    return true;
+  }
+
+  /** One all_gather per (source value, dropped tiles), shared across the
+   *  boundary-gather realizations that need the same full value. */
+  Value* MemoizedGather(const Value* src, const std::vector<ValueTile>& from) {
+    std::string key;
+    for (const ValueTile& tile : from) {
+      key = StrCat(key, tile.axis, ":", tile.dim, ",");
+    }
+    auto [it, inserted] = gather_memo_.try_emplace({src, std::move(key)});
+    if (inserted) it->second = Reshard(Mapped(src), from, {});
+    return it->second;
+  }
+
+  /**
+   * The boundary-gather realization (Realization::kGather recorded for
+   * this op by the propagation policy): the gathers it implies realize one
+   * logical value, not per-use resharding, so they are deduplicated --
+   * one all_gather per (value, tiles) -- and a gather of a squared
+   * operand (mul(v,v), the second-moment statistic) is hoisted to v,
+   * where it unifies with the mean statistic's gather of the same v.
+   * Returns null when this operand is not a pure policy-realized gather
+   * (then the caller reshards per-use as usual, preserving e.g. the
+   * Z3-style once-per-use parameter gathers).
+   */
+  Value* BoundaryGather(const Operation& op, int i,
+                        const std::vector<ValueTile>& required) {
+    if (!required.empty()) return nullptr;
+    const Value* src = op.operand(i);
+    const std::vector<ValueTile>& from = PlacementOf(src);
+    if (from.empty()) return nullptr;
+    const auto& realizations = ctx_.realizations();
+    for (const ValueTile& tile : from) {
+      auto it = realizations.find({&op, tile.axis});
+      if (it == realizations.end() || it->second != Realization::kGather) {
+        return nullptr;
+      }
+    }
+    const Operation* def = src->IsBlockArg() ? nullptr : src->def();
+    if (def != nullptr && def->kind() == OpKind::kMul &&
+        def->operand(0) == def->operand(1) &&
+        SameTiles(PlacementOf(def->operand(0)), from)) {
+      Value* full = MemoizedGather(def->operand(0), from);
+      Operation* square = builder_.Create(
+          OpKind::kMul, {full, full}, {full->type()});
+      square->result()->set_name(StrCat(src->name(), "_full"));
+      return square->result();
+    }
+    return MemoizedGather(src, from);
+  }
+
   const std::vector<ValueTile>& PlacementOf(const Value* value) {
     auto it = placement_.find(value);
     PARTIR_CHECK(it != placement_.end()) << "spmd lowering: no placement";
     return it->second;
   }
 
+  static bool IsElementwiseLike(OpKind kind) {
+    return IsUnaryElementwise(kind) || IsBinaryElementwise(kind) ||
+           kind == OpKind::kTranspose || kind == OpKind::kBroadcastInDim ||
+           kind == OpKind::kConstant || kind == OpKind::kReshape;
+  }
+
+  /**
+   * True when every tile axis of `from` has a kScatter realization decision
+   * on `src`'s defining op or on an op reachable from it through
+   * elementwise/transpose/broadcast chains. Such a value is the (possibly
+   * rearranged) output of a scatter-realized boundary, so a full gather of
+   * it undoes a realization choice rather than redistributing independent
+   * data; those gathers may be shared between nearby uses.
+   */
+  bool ScatterDescended(const Value* src, const std::vector<ValueTile>& from) {
+    std::set<std::string> needed;
+    for (const ValueTile& tile : from) needed.insert(tile.axis);
+    const auto& realizations = ctx_.realizations();
+    std::set<const Value*> visited;
+    std::vector<const Value*> stack{src};
+    int budget = 64;
+    while (!stack.empty() && --budget > 0 && !needed.empty()) {
+      const Value* v = stack.back();
+      stack.pop_back();
+      if (v->IsBlockArg() || !visited.insert(v).second) continue;
+      const Operation* def = v->def();
+      for (auto it = needed.begin(); it != needed.end();) {
+        auto entry = realizations.find({def, *it});
+        if (entry != realizations.end() &&
+            entry->second == Realization::kScatter) {
+          it = needed.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      if (IsElementwiseLike(def->kind())) {
+        for (const Value* operand : def->operands()) stack.push_back(operand);
+      }
+    }
+    return needed.empty();
+  }
+
+  /**
+   * Bounded-liveness sharing of full gathers that undo a scatter
+   * realization: when the same scatter-descended value is gathered to full
+   * again within a short op window (adjacent backward-pass consumers), the
+   * first gather's result is reused instead of re-gathering. The window
+   * keeps the full buffer's live range short — distant re-gathers (e.g. a
+   * forward value gathered again deep in the backward pass, or Z3-style
+   * per-use parameter gathers, which are block args and never
+   * scatter-descended) still gather per use.
+   */
+  Value* SharedRealizedGather(const Operation& op, int i,
+                              const std::vector<ValueTile>& required) {
+    static constexpr int kReuseWindow = 8;
+    if (!required.empty()) return nullptr;
+    const Value* src = op.operand(i);
+    const std::vector<ValueTile>& from = PlacementOf(src);
+    if (from.empty() || !ScatterDescended(src, from)) return nullptr;
+    std::string key;
+    for (const ValueTile& tile : from) {
+      key = StrCat(key, tile.axis, ":", tile.dim, ",");
+    }
+    auto [it, inserted] = shared_gathers_.try_emplace({src, std::move(key)});
+    if (!inserted && emit_seq_ - it->second.second <= kReuseWindow) {
+      return it->second.first;
+    }
+    it->second = {Reshard(Mapped(src), from, {}), emit_seq_};
+    return it->second.first;
+  }
+
+  /**
+   * The deferred-statistic fusion at the model's closing normalization:
+   * a parameter-free RMS norm whose output feeds exactly one contraction
+   * over the normalized dim (the tied-embedding unembedding dot, realized
+   * kReduce). Because the per-position scale rsqrt(mean(x^2)) is constant
+   * across the contracted dim, it commutes with the dot:
+   *
+   *     norm(x) @ W  =  bcast(rsqrt(s)) * (x @ W),   s = mean(x^2)
+   *
+   * so the lowering computes the *raw* partial dot and the partial
+   * second-moment statistic locally, concatenates them, and realizes both
+   * with ONE all_reduce (the statistic rides the logits reduction: +1
+   * element per vocab row instead of a standalone [B,S,D] all_gather).
+   * On the gradient path the statistic gradient contracts twice with the
+   * same tied weight, so the reductions reorder,
+   *
+   *     sum_d(dnorm * x)  =  sum_v(dlogits * (x @ W)),
+   *
+   * and both factors of the right-hand side are already replicated after
+   * the fused all_reduce: the backward boundary needs no collective at
+   * all. Sites that do not match exactly (normalize feeding several dots,
+   * operands tiled on more than the boundary axis, missing gradient
+   * reduce) keep the default per-boundary realization.
+   */
+  struct DeferredStat {
+    const Operation* stat_reduce = nullptr;  // reduce(mul(x,x), {last})
+    const Operation* logits_dot = nullptr;   // dot(norm(x), w)
+    const Operation* grad_reduce = nullptr;  // reduce(mul(dot(dl,w), x))
+    const Value* x = nullptr;
+    const Value* w = nullptr;
+    const Value* inv = nullptr;      // rsqrt(...) full scale
+    const Value* dlogits = nullptr;  // replicated upstream gradient
+    std::string axis;
+    Value* raw_full = nullptr;  // all-reduced x @ w, set at emission
+  };
+
+  void MatchDeferredStat(const Func& src) {
+    std::map<const Value*, std::vector<const Operation*>> users;
+    WalkOps(src.body(), [&](const Operation& op) {
+      for (const Value* operand : op.operands()) {
+        users[operand].push_back(&op);
+      }
+    });
+    const auto& realizations = ctx_.realizations();
+    WalkOps(src.body(), [&](const Operation& op) {
+      if (deferred_.logits_dot != nullptr || op.kind() != OpKind::kDot) return;
+      if (op.num_operands() != 2 || op.num_results() != 1) return;
+      const Value* n = op.operand(0);
+      const Value* w = op.operand(1);
+      if (n->IsBlockArg() || n->def()->kind() != OpKind::kMul) return;
+      const Value* x = n->def()->operand(0);
+      const Value* scale = n->def()->operand(1);
+      if (scale->IsBlockArg() ||
+          scale->def()->kind() != OpKind::kBroadcastInDim) {
+        return;
+      }
+      // x tiled along exactly one axis, on its innermost dim.
+      const std::vector<ValueTile>& x_tiles = ctx_.state(x).tiles;
+      int64_t last = x->tensor_type().rank() - 1;
+      if (x_tiles.size() != 1 || x_tiles[0].dim != last) return;
+      const std::string& axis = x_tiles[0].axis;
+      // The dot contracts that dim and was realized kReduce.
+      auto dot_dec = realizations.find({&op, axis});
+      if (dot_dec == realizations.end() ||
+          dot_dec->second != Realization::kReduce) {
+        return;
+      }
+      if (!ctx_.state(op.result()).tiles.empty()) return;
+      if (op.result()->tensor_type().rank() != last + 1) return;
+      // The scale is a replicated per-position statistic of x: find the
+      // gather-realized second-moment reduce feeding it.
+      const Value* inv = scale->def()->operand(0);
+      if (!ctx_.state(inv).tiles.empty()) return;
+      const Operation* stat_reduce = nullptr;
+      for (const Operation* user : users[x]) {
+        if (user->kind() != OpKind::kMul || user->operand(0) != x ||
+            user->operand(1) != x) {
+          continue;
+        }
+        for (const Operation* ruser : users[user->result()]) {
+          if (ruser->kind() == OpKind::kReduce &&
+              ruser->attrs().Get<std::vector<int64_t>>("dims") ==
+                  std::vector<int64_t>{last}) {
+            stat_reduce = ruser;
+          }
+        }
+      }
+      if (stat_reduce == nullptr) return;
+      auto stat_dec = realizations.find({stat_reduce, axis});
+      if (stat_dec == realizations.end() ||
+          stat_dec->second != Realization::kGather) {
+        return;
+      }
+      if (!ReachesThroughElementwise(inv, stat_reduce->result())) return;
+      // The normalize feeds exactly one contraction over the normalized
+      // dim (per-layer norms feed several projections and keep the
+      // standard realization).
+      int contracting_dots = 0;
+      for (const Operation* user : users[n]) {
+        if (user->kind() == OpKind::kDot && user->operand(0) == n &&
+            user->attrs().Get<std::vector<int64_t>>("lhs_contract") ==
+                std::vector<int64_t>{last}) {
+          ++contracting_dots;
+        }
+      }
+      if (contracting_dots != 1) return;
+      // Gradient side: reduce(mul(dot(dlogits, w), x)) over the same dim,
+      // also gather-realized, with a replicated dlogits.
+      const Operation* grad_reduce = nullptr;
+      const Value* dlogits = nullptr;
+      for (const Operation* user : users[x]) {
+        if (user->kind() != OpKind::kMul) continue;
+        const Value* other = user->operand(0) == x ? user->operand(1)
+                             : user->operand(1) == x ? user->operand(0)
+                                                     : nullptr;
+        if (other == nullptr) continue;
+        // The upstream-gradient contraction, possibly behind a layout
+        // transpose (sum_v then commutes with the permutation).
+        if (!other->IsBlockArg() &&
+            other->def()->kind() == OpKind::kTranspose) {
+          other = other->def()->operand(0);
+        }
+        if (other->IsBlockArg() || other->def()->kind() != OpKind::kDot ||
+            other->def()->num_operands() != 2 ||
+            other->def()->operand(1) != w) {
+          continue;
+        }
+        for (const Operation* ruser : users[user->result()]) {
+          if (ruser->kind() != OpKind::kReduce ||
+              ruser->attrs().Get<std::vector<int64_t>>("dims") !=
+                  std::vector<int64_t>{last}) {
+            continue;
+          }
+          auto grad_dec = realizations.find({ruser, axis});
+          if (grad_dec == realizations.end() ||
+              grad_dec->second != Realization::kGather) {
+            continue;
+          }
+          const Value* dl = other->def()->operand(0);
+          if (!ctx_.state(dl).tiles.empty()) continue;
+          grad_reduce = ruser;
+          dlogits = dl;
+        }
+      }
+      if (grad_reduce == nullptr) return;
+      deferred_.stat_reduce = stat_reduce;
+      deferred_.logits_dot = &op;
+      deferred_.grad_reduce = grad_reduce;
+      deferred_.x = x;
+      deferred_.w = w;
+      deferred_.inv = inv;
+      deferred_.dlogits = dlogits;
+      deferred_.axis = axis;
+    });
+  }
+
+  /** True if `to` is reachable from `from` walking up def chains through
+   *  elementwise-like ops only (the rsqrt(mean + eps) statistic chain). */
+  static bool ReachesThroughElementwise(const Value* from, const Value* to) {
+    std::set<const Value*> visited;
+    std::vector<const Value*> stack{from};
+    int budget = 32;
+    while (!stack.empty() && --budget > 0) {
+      const Value* v = stack.back();
+      stack.pop_back();
+      if (v == to) return true;
+      if (v->IsBlockArg() || !visited.insert(v).second) continue;
+      const Operation* def = v->def();
+      if (!IsElementwiseLike(def->kind())) continue;
+      for (const Value* operand : def->operands()) stack.push_back(operand);
+    }
+    return false;
+  }
+
+  /** Emits the fused statistic + contraction all_reduce for the matched
+   *  closing-norm site: one packed collective realizes both the raw dot
+   *  and the second-moment partial. */
+  void EmitDeferredStatReduce(const Operation& op) {
+    // Raw partial contraction with the dot's own attributes, full result
+    // type (both operands are locally complete along their shards).
+    Value* x_local = Mapped(deferred_.x);
+    Value* w_local = Mapped(deferred_.w);
+    const Operation* dot = deferred_.logits_dot;
+    Operation* raw = builder_.Create(OpKind::kDot, {x_local, w_local},
+                                     {dot->result()->type()});
+    for (const auto& [name, attr] : dot->attrs().raw()) {
+      raw->attrs().Set(name, attr);
+    }
+    raw->result()->set_name(StrCat(dot->result()->name(), "_raw"));
+    // Local second-moment partial, packed onto the raw dot's trailing dim.
+    std::vector<int64_t> dims = dot->result()->tensor_type().dims();
+    int64_t vocab = dims.back();
+    Value* stat = builder_.Reduce(Mapped(op.operand(0)),
+                                  {op.operand(0)->tensor_type().rank() - 1},
+                                  "sum");
+    std::vector<int64_t> stat3 = dims;
+    stat3.back() = 1;
+    Value* packed = builder_.Concatenate(
+        {raw->result(), builder_.Reshape(stat, stat3)},
+        static_cast<int64_t>(dims.size()) - 1);
+    packed = builder_.AllReduce(packed, {deferred_.axis}, "sum");
+    std::vector<int64_t> starts(dims.size(), 0);
+    std::vector<int64_t> limits = dims;
+    deferred_.raw_full = builder_.StaticSlice(packed, starts, limits);
+    deferred_.raw_full->set_name(StrCat(dot->result()->name(), "_rawfull"));
+    starts.back() = vocab;
+    limits.back() = vocab + 1;
+    Value* stat_full =
+        builder_.Reshape(builder_.StaticSlice(packed, starts, limits),
+                         op.result()->tensor_type().dims());
+    stat_full->set_name(op.result()->name());
+    map_[op.result()] = stat_full;
+    placement_[op.result()] = {};
+  }
+
   void EmitOp(const Operation& op) {
+    if (&op == deferred_.stat_reduce) {
+      EmitDeferredStatReduce(op);
+      return;
+    }
+    if (&op == deferred_.logits_dot) {
+      // logits = bcast(rsqrt(stat)) * raw_full; the statistic arrived with
+      // the packed all_reduce, so this is pure local arithmetic.
+      PARTIR_CHECK(deferred_.raw_full != nullptr);
+      const Value* scale = op.operand(0)->def()->operand(1);
+      Value* b = builder_.BroadcastInDim(
+          Mapped(deferred_.inv), op.result()->tensor_type().dims(),
+          scale->def()->attrs().Get<std::vector<int64_t>>("broadcast_dims"));
+      Operation* logits = builder_.Create(
+          OpKind::kMul, {deferred_.raw_full, b}, {op.result()->type()});
+      logits->result()->set_name(op.result()->name());
+      map_[op.result()] = logits->result();
+      placement_[op.result()] = {};
+      return;
+    }
+    if (&op == deferred_.grad_reduce) {
+      // sum_d(dnorm * x) == sum_v(dlogits * (x @ w)): both factors are
+      // replicated after the packed all_reduce, so the gradient statistic
+      // is collective-free.
+      PARTIR_CHECK(deferred_.raw_full != nullptr);
+      Operation* m = builder_.Create(
+          OpKind::kMul, {Mapped(deferred_.dlogits), deferred_.raw_full},
+          {deferred_.raw_full->type()});
+      Value* r = builder_.Reduce(
+          m->result(), {m->result()->tensor_type().rank() - 1}, "sum");
+      r->set_name(op.result()->name());
+      map_[op.result()] = r;
+      placement_[op.result()] = {};
+      return;
+    }
     if (op.kind() == OpKind::kReturn) {
       std::vector<Value*> results;
       for (const Value* operand : op.operands()) {
@@ -152,9 +534,13 @@ class SpmdLowering {
           required.push_back(ValueTile{entry.axis, factor.operand_dims[i]});
         }
       }
-      Value* mapped = Mapped(op.operand(i));
-      local_operands.push_back(
-          Reshard(mapped, PlacementOf(op.operand(i)), required));
+      Value* local = BoundaryGather(op, i, required);
+      if (local == nullptr) local = SharedRealizedGather(op, i, required);
+      if (local == nullptr) {
+        local = Reshard(Mapped(op.operand(i)), PlacementOf(op.operand(i)),
+                        required);
+      }
+      local_operands.push_back(local);
     }
 
     // Result placement: the nest's tile entries.
@@ -174,9 +560,15 @@ class SpmdLowering {
       if (slice_result) {
         result_types.push_back(op.result(i)->type());
       } else {
-        result_types.push_back(TensorType(
-            ctx_.LocalDims(op.result(i)),
-            op.result(i)->tensor_type().dtype()));
+        // Pre-realization local type: the nest's tile entries only. A
+        // scatter-realized contracting axis slices *after* the all_reduce,
+        // so its division must not apply to the op's own result.
+        std::vector<int64_t> dims = op.result(i)->tensor_type().dims();
+        for (const ValueTile& tile : result_tiles) {
+          dims[tile.dim] /= ctx_.mesh().AxisSize(tile.axis);
+        }
+        result_types.push_back(
+            TensorType(std::move(dims), op.result(i)->tensor_type().dtype()));
       }
     }
     Operation* emitted = builder_.Create(op.kind(), std::move(local_operands),
@@ -210,6 +602,23 @@ class SpmdLowering {
       result = builder_.AllReduce(result, max_axes, "max");
     }
 
+    // Scatter-realized #sum axes (boundary realization): the result state
+    // re-tiles the reduced value, so slice right after the all_reduce; the
+    // SPMD peephole fuses the pair into a reduce_scatter.
+    AxesPerDim scatter(result->tensor_type().rank());
+    bool any_scatter = false;
+    for (const OpAxisEntry& entry : nest) {
+      if (!entry.contracting) continue;
+      int64_t dim = ctx_.state(op.result()).DimOfAxis(entry.axis);
+      if (dim < 0) continue;
+      scatter[dim].push_back(entry.axis);
+      result_tiles.push_back(ValueTile{entry.axis, dim});
+      any_scatter = true;
+    }
+    if (any_scatter) {
+      result = builder_.AllSlice(result, scatter);
+    }
+
     map_[op.result()] = result;
     placement_[op.result()] = result_tiles;
   }
@@ -219,6 +628,11 @@ class SpmdLowering {
   OpBuilder builder_;
   std::map<const Value*, Value*> map_;
   std::map<const Value*, std::vector<ValueTile>> placement_;
+  std::map<std::pair<const Value*, std::string>, Value*> gather_memo_;
+  std::map<std::pair<const Value*, std::string>, std::pair<Value*, int>>
+      shared_gathers_;
+  DeferredStat deferred_;
+  int emit_seq_ = 0;
 };
 
 }  // namespace

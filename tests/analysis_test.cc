@@ -281,6 +281,110 @@ TEST(LintTest, LintErrorsSkipTheSemanticCheckers) {
   EXPECT_EQ(report.checkers_run[0], "lint");
 }
 
+// ---- Redundant-collective lint over boundary-realization sequences ----
+
+/** Appends a collective op with an axes_per_dim attribute. */
+Operation* AppendAxesPerDimCollective(Func* func, OpKind kind, Value* operand,
+                                      std::vector<int64_t> result_dims,
+                                      AxesPerDim axes_per_dim) {
+  auto op = std::make_unique<Operation>(
+      kind, std::vector<Value*>{operand},
+      std::vector<Type>{Type(TensorType(std::move(result_dims)))});
+  op->attrs().Set("axes_per_dim", Attr(std::move(axes_per_dim)));
+  if (kind == OpKind::kReduceScatter) {
+    op->attrs().Set("reduction", Attr(std::string("sum")));
+  }
+  return func->body().Append(std::move(op));
+}
+
+TEST(LintTest, GatherSliceRoundTripIsFlagged) {
+  // all_slice(all_gather(x)) with the same axes_per_dim: the redundant
+  // data motion fuse-gather-slice exists to remove. A survivor must come
+  // back as a redundant-collective warning, not silence.
+  SpmdModule spmd;
+  spmd.module = std::make_unique<Module>();
+  spmd.mesh = Mesh({{"B", 2}});
+  Func* func = spmd.module->AddFunc("main");
+  Value* x = func->body().AddArg(TensorType({4, 4}), "x");
+  Operation* gather = AppendAxesPerDimCollective(
+      func, OpKind::kAllGather, x, {8, 4}, AxesPerDim{{"B"}, {}});
+  Operation* slice = AppendAxesPerDimCollective(
+      func, OpKind::kAllSlice, gather->result(), {4, 4},
+      AxesPerDim{{"B"}, {}});
+  OpBuilder builder(&func->body());
+  builder.Return({slice->result()});
+
+  AnalysisReport report = analysis::AnalyzeSpmd(spmd);
+  EXPECT_EQ(report.errors(), 0) << report.ToString();
+  bool flagged = false;
+  for (const analysis::Diagnostic& diag : report.diagnostics) {
+    if (diag.checker_id == "redundant-collective" &&
+        diag.message.find("round-trip") != std::string::npos) {
+      flagged = true;
+    }
+  }
+  EXPECT_TRUE(flagged) << report.ToString();
+}
+
+TEST(LintTest, ReduceScatterOfReplicatedIsFlagged) {
+  // reduce_scatter of an already all_reduced value: every device holds the
+  // full sum, so the reduce_scatter re-reduces identical copies (a scaling
+  // bug, the double-reduction hazard of the boundary-scatter path).
+  SpmdModule spmd;
+  spmd.module = std::make_unique<Module>();
+  spmd.mesh = Mesh({{"B", 2}});
+  Func* func = spmd.module->AddFunc("main");
+  Value* x = func->body().AddArg(TensorType({4, 4}), "x");
+  auto reduce = std::make_unique<Operation>(
+      OpKind::kAllReduce, std::vector<Value*>{x},
+      std::vector<Type>{Type(TensorType({4, 4}))});
+  reduce->attrs().Set("axes", Attr(std::vector<std::string>{"B"}));
+  reduce->attrs().Set("reduction", Attr(std::string("sum")));
+  Operation* reduce_op = func->body().Append(std::move(reduce));
+  Operation* rs = AppendAxesPerDimCollective(
+      func, OpKind::kReduceScatter, reduce_op->result(), {2, 4},
+      AxesPerDim{{"B"}, {}});
+  OpBuilder builder(&func->body());
+  builder.Return({rs->result()});
+
+  AnalysisReport report = analysis::AnalyzeSpmd(spmd);
+  EXPECT_EQ(report.errors(), 0) << report.ToString();
+  bool flagged = false;
+  for (const analysis::Diagnostic& diag : report.diagnostics) {
+    if (diag.checker_id == "redundant-collective" &&
+        diag.message.find("re-reduces") != std::string::npos) {
+      flagged = true;
+    }
+  }
+  EXPECT_TRUE(flagged) << report.ToString();
+}
+
+TEST(ShapeCheckerTest, MalformedAxesPerDimIsReported) {
+  // The boundary-realization paths emit all_gather / reduce_scatter
+  // directly, so a malformed axes_per_dim must produce an explicit shape
+  // diagnostic (not a silent no-opinion that also disables the
+  // divisibility check downstream).
+  SpmdModule spmd;
+  spmd.module = std::make_unique<Module>();
+  spmd.mesh = Mesh({{"B", 2}});
+  Func* func = spmd.module->AddFunc("main");
+  Value* x = func->body().AddArg(TensorType({4, 4}), "x");
+  Value* y = func->body().AddArg(TensorType({4, 4}), "y");
+  // Unknown mesh axis on dim 0.
+  Operation* bad_axis = AppendAxesPerDimCollective(
+      func, OpKind::kAllGather, x, {8, 4}, AxesPerDim{{"Z"}, {}});
+  // axes_per_dim rank disagrees with the operand rank.
+  Operation* bad_rank = AppendAxesPerDimCollective(
+      func, OpKind::kAllGather, y, {8, 4}, AxesPerDim{{"B"}});
+  OpBuilder builder(&func->body());
+  builder.Return({bad_axis->result(), bad_rank->result()});
+
+  AnalysisReport report;
+  CheckShapes(spmd, report);
+  EXPECT_GE(report.errors(), 2) << report.ToString();
+  EXPECT_TRUE(report.HasChecker("shape-check")) << report.ToString();
+}
+
 // ---- Every example workload analyzes clean ----
 
 PartitionOptions WithAnalysis() {
@@ -342,6 +446,23 @@ TEST(AnalysisWorkloadsTest, TransformerTrainingBpMp) {
                      Mesh({{"batch", 2}, {"model", 2}}), WithAnalysis())
           .value();
   ExpectAnalyzesClean(exe, "transformer training");
+}
+
+TEST(AnalysisWorkloadsTest, TransformerEmbBoundaryRealization) {
+  // The boundary-realized standalone-EMB lowering (operand gathers at
+  // normalization statistics, gradient-path reduce_scatters) must not trip
+  // any checker: no gather/slice round-trips, no double reductions, clean
+  // shapes through the new AG/RS sequences.
+  TransformerConfig config = SmallTransformer();
+  Program program = Program::Capture([&](Module& module) {
+    return BuildTransformerTrainingStep(module, config);
+  });
+  Executable exe = program
+                       .Partition({schedules::TransformerEMB()},
+                                  Mesh({{"batch", 2}, {"model", 2}}),
+                                  WithAnalysis())
+                       .value();
+  ExpectAnalyzesClean(exe, "transformer EMB boundary realization");
 }
 
 TEST(AnalysisWorkloadsTest, TransformerInferenceBp) {

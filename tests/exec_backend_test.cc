@@ -116,6 +116,64 @@ TEST(ExecBackendTest, TransformerTrainingBpMp) {
       "transformer training");
 }
 
+// Differential coverage for the boundary-aware realization of the
+// standalone-EMB schedule (PartitionOptions::boundary_realization): the
+// new lowering must be bit-identical between the interpreter and the
+// compiled backend in sequential, fully-threaded and capped-thread modes,
+// and both the boundary-realized and the historical all-all_reduce
+// lowerings must agree with the unpartitioned reference evaluation.
+// Collective reductions re-associate float sums, so the reference
+// comparison uses a tolerance; the backend/threading comparisons stay
+// memcmp-strict.
+TEST(ExecBackendTest, TransformerEmbBoundaryRealizationDifferential) {
+  TransformerConfig config = SmallTransformer();
+  Program program = Program::Capture([&](Module& module) {
+    return BuildTransformerTrainingStep(module, config);
+  });
+  Mesh mesh({{"batch", 2}, {"model", 2}});
+  std::vector<Tensor> inputs =
+      program.RandomInputs(25, static_cast<float>(config.vocab));
+  std::vector<Tensor> reference = program.Evaluate(inputs).value();
+
+  PartitionOptions historical_options;
+  historical_options.boundary_realization = false;
+  struct Variant {
+    const char* label;
+    Executable exe;
+  };
+  Variant variants[] = {
+      {"EMB boundary",
+       program.Partition({schedules::TransformerEMB()}, mesh).value()},
+      {"EMB historical",
+       program
+           .Partition({schedules::TransformerEMB()}, mesh,
+                      historical_options)
+           .value()},
+      {"BP+MP+Z3+EMB boundary",
+       program
+           .Partition({schedules::TransformerBP(), schedules::TransformerMP(),
+                       schedules::TransformerZ3(),
+                       schedules::TransformerEMB()},
+                      mesh)
+           .value()},
+  };
+  constexpr float kTol = 5e-3f;
+  for (Variant& variant : variants) {
+    ExpectBackendsAgree(variant.exe, inputs, variant.label);
+    for (int num_threads : {1, 0, 3}) {
+      RunOptions options;
+      options.num_threads = num_threads;
+      std::vector<Tensor> got = variant.exe.Run(inputs, options).value();
+      ASSERT_EQ(got.size(), reference.size()) << variant.label;
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_LT(Tensor::MaxAbsDiff(reference[i], got[i]), kTol)
+            << variant.label << " output " << i << " vs reference (threads="
+            << num_threads << ")";
+      }
+    }
+  }
+}
+
 TEST(ExecBackendTest, TransformerInferenceBp) {
   TransformerConfig config = SmallTransformer();
   Program program = Program::Capture([&](Module& module) {

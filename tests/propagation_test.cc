@@ -3,9 +3,15 @@
 // example, inference from partial matches, conflicts, and atomic barriers.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "src/core/context.h"
 #include "src/core/factors.h"
 #include "src/ir/builder.h"
+#include "src/models/schedules.h"
+#include "src/models/transformer.h"
+#include "src/schedule/schedule.h"
+#include "src/sim/cost_model.h"
 
 namespace partir {
 namespace {
@@ -383,6 +389,199 @@ TEST(PropagationTest, BackwardThroughReduceFromResultSeed) {
   ctx.Propagate();
   EXPECT_EQ(ctx.state(x).DimOfAxis("B"), 0);
   EXPECT_EQ(ctx.nest(r->def()).size(), 1u);
+}
+
+// ---- Boundary-aware realization (PartitionOptions::boundary_realization) --
+
+// Builds a normalization-statistics prefix:
+//   x0:[4,16] -> x = add(x0,x0) -> sq = mul(x,x) -> stats = reduce(sq,{1}).
+// The add keeps x0 the seed and x an *inferred* tile, matching how the
+// residual stream (not a user seed) reaches the layernorm in the
+// transformer (the seeded-operand gate in ChooseBoundaryRealization only
+// protects explicit seeds).
+struct StatChain {
+  Module module;
+  Func* func;
+  Value* x0;
+  Operation* stats;
+};
+
+StatChain BuildStatChain() {
+  StatChain chain;
+  chain.func = chain.module.AddFunc("main");
+  chain.x0 = chain.func->body().AddArg(TensorType({4, 16}), "x0");
+  OpBuilder builder(&chain.func->body());
+  Value* x = builder.Add(chain.x0, chain.x0);
+  Value* stats = builder.Reduce(builder.Mul(x, x), {1}, "sum");
+  builder.Return({stats});
+  chain.stats = stats->def();
+  return chain;
+}
+
+TEST(FactorsTest, StatisticsReduceClassifier) {
+  Module module;
+  Func* func = module.AddFunc("main");
+  Value* x = func->body().AddArg(TensorType({4, 16}), "x");
+  OpBuilder builder(&func->body());
+  Value* variance = builder.Reduce(builder.Mul(x, x), {1}, "sum");
+  Value* softmax_denominator = builder.Reduce(builder.Exp(x), {1}, "sum");
+  Value* leading = builder.Reduce(x, {0}, "sum");
+  builder.Return({variance, softmax_denominator, leading});
+
+  bool second_moment = false;
+  EXPECT_TRUE(IsStatisticsReduce(*variance->def(), &second_moment));
+  EXPECT_TRUE(second_moment);
+  EXPECT_TRUE(IsStatisticsReduce(*softmax_denominator->def(),
+                                 &second_moment));
+  EXPECT_FALSE(second_moment);
+  // Leading-dim reductions are not statistics boundaries (weight-gradient
+  // pattern): the all_reduce realization is their intended semantics.
+  EXPECT_FALSE(IsStatisticsReduce(*leading->def()));
+}
+
+TEST(PropagationTest, PartialsStopAtStatisticsBoundary) {
+  // With the default boundary policy, the tiled partial stops at the
+  // normalization statistic: no contracting entry is recorded for the
+  // reduce (lowering gathers its operand instead of all_reducing partials).
+  StatChain chain = BuildStatChain();
+  PartitionContext ctx(chain.func, PaperMesh());
+  ctx.SetRealizationPolicy([&ctx](BoundarySite& site) {
+    return ChooseBoundaryRealization(ctx, site);
+  });
+  ASSERT_TRUE(ctx.TileValue(chain.x0, 1, "M"));
+  ctx.Propagate();
+  EXPECT_TRUE(ctx.nest(chain.stats).empty());
+  EXPECT_TRUE(ctx.state(chain.stats->result()).tiles.empty());
+}
+
+TEST(PropagationTest, StatisticsBoundaryAllReducedWithoutPolicy) {
+  // Same chain without a policy (the boundary_realization ablation): the
+  // historical behavior records the contracting entry, i.e. the statistic
+  // is computed from partials and all_reduced.
+  StatChain chain = BuildStatChain();
+  PartitionContext ctx(chain.func, PaperMesh());
+  ASSERT_TRUE(ctx.TileValue(chain.x0, 1, "M"));
+  ctx.Propagate();
+  ASSERT_EQ(ctx.nest(chain.stats).size(), 1u);
+  EXPECT_TRUE(ctx.nest(chain.stats)[0].contracting);
+  EXPECT_EQ(ctx.nest(chain.stats)[0].axis, "M");
+}
+
+TEST(PropagationTest, BoundaryCostPrefersGatherWhenOperandsAreSmall) {
+  // a:[64,8] @ w:[8,512]: gathering the contract-tiled operands moves
+  // (k-1)/k * (2KiB + 16KiB) while all_reducing the [64,512] result moves
+  // 2 * (k-1)/k * 128KiB -- the gather realization wins.
+  Module module;
+  Func* func = module.AddFunc("main");
+  Value* a = func->body().AddArg(TensorType({64, 8}), "a");
+  Value* w = func->body().AddArg(TensorType({8, 512}), "w");
+  OpBuilder builder(&func->body());
+  Value* y = builder.MatMul(a, w);
+  builder.Return({y});
+
+  PartitionContext ctx(func, PaperMesh());
+  ASSERT_TRUE(ctx.TileValue(w, 0, "M"));
+  BoundarySite site;
+  site.op = y->def();
+  site.axis = "M";
+  site.factor = 2;  // the contracting factor of MatMulFactorsMatchFigure4
+  RealizationCost cost = ScoreBoundaryRealization(ctx, site);
+  EXPECT_LT(cost.gather, cost.reduce);
+  // No divisible result dim suggested: the scatter realization is not
+  // available at this site.
+  EXPECT_TRUE(std::isinf(cost.scatter));
+  // With a scatter dim, reduce_scatter moves half the all_reduce bytes.
+  site.scatter_dim = 0;
+  cost = ScoreBoundaryRealization(ctx, site);
+  EXPECT_DOUBLE_EQ(cost.scatter, cost.reduce / 2);
+}
+
+TEST(PropagationTest, BoundaryCostPrefersReduceWhenResultIsSmall) {
+  // a:[4,512] @ w:[512,4]: the [4,4] result is tiny next to the 16KiB of
+  // contract-tiled operands -- all_reducing partials wins.
+  Module module;
+  Func* func = module.AddFunc("main");
+  Value* a = func->body().AddArg(TensorType({4, 512}), "a");
+  Value* w = func->body().AddArg(TensorType({512, 4}), "w");
+  OpBuilder builder(&func->body());
+  Value* y = builder.MatMul(a, w);
+  builder.Return({y});
+
+  PartitionContext ctx(func, PaperMesh());
+  ASSERT_TRUE(ctx.TileValue(w, 0, "M"));
+  BoundarySite site;
+  site.op = y->def();
+  site.axis = "M";
+  site.factor = 2;
+  RealizationCost cost = ScoreBoundaryRealization(ctx, site);
+  EXPECT_LT(cost.reduce, cost.gather);
+}
+
+TEST(PropagationTest, BoundaryAblationRestoresAllReduceOnlyEmbRow) {
+  // The PartitionOptions::boundary_realization ablation on the paper's T32
+  // configuration: standalone EMB falls back to the historical realization
+  // where every boundary is an all_reduce -- 0 AG / 355 AR / 0 RS / 0 A2A
+  // (11 per layer + the two final-norm statistics + the logits partial).
+  TransformerConfig config = TransformerConfig::T32Scaled();
+  Module module;
+  Func* step = BuildTransformerTrainingStep(module, config);
+  PartitionContext ctx(step, Mesh({{"batch", 16}, {"model", 2}}));
+  PartitionOptions options;
+  options.per_tactic_reports = false;
+  options.use_cache = false;
+  options.boundary_realization = false;
+  PartitionResult result =
+      PartirJit(ctx, {schedules::TransformerEMB()}, options);
+  EXPECT_EQ(result.collectives.all_gather, 0);
+  EXPECT_EQ(result.collectives.all_reduce, 355);
+  EXPECT_EQ(result.collectives.reduce_scatter, 0);
+  EXPECT_EQ(result.collectives.all_to_all, 0);
+}
+
+TEST(PropagationTest, BoundaryRealizationEmbCountsScaleWithDepth) {
+  // The boundary-realized standalone-EMB lowering produces 8 all_gathers,
+  // 6 all_reduces, and 4 reduce_scatters per layer plus a constant tail
+  // (the packed final-norm statistic + logits all_reduce and the loss
+  // reductions): L layers give 8L / 6L+1 / 4L / 0. At the paper's 32
+  // layers this is Table 3's 256/193/128/0 (covered by the benchmark);
+  // two layers keep the regression fast.
+  TransformerConfig config = TransformerConfig::T32Scaled();
+  config.num_layers = 2;
+  Module module;
+  Func* step = BuildTransformerTrainingStep(module, config);
+  PartitionContext ctx(step, Mesh({{"batch", 16}, {"model", 2}}));
+  PartitionOptions options;
+  options.per_tactic_reports = false;
+  options.use_cache = false;
+  PartitionResult result =
+      PartirJit(ctx, {schedules::TransformerEMB()}, options);
+  EXPECT_EQ(result.collectives.all_gather, 16);
+  EXPECT_EQ(result.collectives.all_reduce, 13);
+  EXPECT_EQ(result.collectives.reduce_scatter, 8);
+  EXPECT_EQ(result.collectives.all_to_all, 0);
+}
+
+TEST(PropagationTest, SeededContractOperandKeepsAllReduceRealization) {
+  // An explicitly seeded contract operand (Megatron row-sharded weight,
+  // the tied embedding of the logits projection) expresses intent to
+  // compute with partials: the default policy keeps the all_reduce
+  // realization even where a gather would be cheaper.
+  Module module;
+  Func* func = module.AddFunc("main");
+  Value* a = func->body().AddArg(TensorType({64, 8}), "a");
+  Value* w = func->body().AddArg(TensorType({8, 512}), "w");
+  OpBuilder builder(&func->body());
+  Value* y = builder.MatMul(a, w);
+  builder.Return({y});
+
+  PartitionContext ctx(func, PaperMesh());
+  ctx.SetRealizationPolicy([&ctx](BoundarySite& site) {
+    return ChooseBoundaryRealization(ctx, site);
+  });
+  ASSERT_TRUE(ctx.TileValue(w, 0, "M"));  // user seed on the contract dim
+  ctx.Propagate();
+  ASSERT_EQ(ctx.nest(y->def()).size(), 1u);
+  EXPECT_TRUE(ctx.nest(y->def())[0].contracting);
 }
 
 }  // namespace
